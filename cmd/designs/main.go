@@ -1,0 +1,71 @@
+// Command designs explores the block design catalog: print and verify a
+// design for a given (C, G), or list every known design as in the paper's
+// Figure 4-3.
+//
+// Usage:
+//
+//	designs -c 21 -g 5            # print the design Select would use
+//	designs -scatter -maxv 41     # Figure 4-3: known designs coverage
+//	designs -paper                # the six appendix designs, verified
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declust"
+	"declust/internal/blockdesign"
+	"declust/internal/experiments"
+)
+
+func main() {
+	c := flag.Int("c", 21, "number of objects/disks (v = C)")
+	g := flag.Int("g", 5, "tuple size (k = G)")
+	scatter := flag.Bool("scatter", false, "list known designs (Figure 4-3)")
+	maxv := flag.Int("maxv", 41, "largest v for -scatter")
+	paper := flag.Bool("paper", false, "print the paper's six appendix designs")
+	tuples := flag.Bool("tuples", false, "print the design's tuples")
+	flag.Parse()
+
+	switch {
+	case *scatter:
+		fmt.Print(experiments.Fig43(*maxv))
+	case *paper:
+		for _, gg := range blockdesign.PaperG {
+			d, err := declust.PaperDesign(gg)
+			if err != nil {
+				fail(err)
+			}
+			p, err := d.Params()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("G=%-3d %-34s %s\n", gg, d.Source, p)
+		}
+	default:
+		d, exact, err := declust.SelectDesign(*c, *g, 0)
+		if err != nil {
+			fail(err)
+		}
+		p, err := d.Params()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("selected: %s\n", d.Source)
+		fmt.Printf("params:   %s\n", p)
+		if !exact {
+			fmt.Printf("note:     no feasible design at G=%d; closest feasible α substituted\n", *g)
+		}
+		if *tuples {
+			for i, tup := range d.Tuples {
+				fmt.Printf("tuple %3d: %v\n", i, tup)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "designs:", err)
+	os.Exit(1)
+}

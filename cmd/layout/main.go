@@ -1,0 +1,54 @@
+// Command layout prints parity and data layouts in the style of the
+// paper's Figures 2-1, 2-3 and 4-2, and evaluates the §4.1 layout-goodness
+// criteria.
+//
+// Usage:
+//
+//	layout -c 5 -g 4              # declustered, like Figure 2-3 / 4-2
+//	layout -c 5 -g 5              # RAID 5 left-symmetric, like Figure 2-1
+//	layout -c 21 -g 5 -rows 10    # first 10 offsets of the paper's array
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declust"
+	"declust/internal/layout"
+)
+
+func main() {
+	c := flag.Int("c", 5, "number of disks (C)")
+	g := flag.Int("g", 4, "stripe units per parity stripe (G); g = c selects RAID 5")
+	rows := flag.Int("rows", 0, "unit offsets to print (0 = one full parity rotation)")
+	check := flag.Bool("check", true, "evaluate the layout criteria")
+	flag.Parse()
+
+	m, err := declust.NewMapping(*c, *g, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+	fmt.Println(m.Describe())
+	fmt.Println()
+
+	fmt.Print(layout.Format(m.Layout, int64(*rows)))
+
+	if *check {
+		crit, err := m.Criteria()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "layout:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Printf("criteria over %d stripes (one full block design table):\n", crit.TableStripes)
+		fmt.Printf("  1. single failure correcting:   %v\n", crit.SingleFailureCorrecting)
+		fmt.Printf("  2. distributed reconstruction:  %v (every disk pair shares %d stripes)\n",
+			crit.DistributedReconstruction, crit.PairCount)
+		fmt.Printf("  3. distributed parity:          %v (%d parity units per disk)\n",
+			crit.DistributedParity, crit.ParityPerDisk)
+		fmt.Printf("  5. large-write optimization:    %v\n", crit.LargeWriteOptimization)
+		fmt.Printf("  6. maximal parallelism:         %v\n", crit.MaximalParallelism)
+	}
+}

@@ -1,0 +1,140 @@
+// Command raidsim runs one disk array simulation: fault-free, degraded, or
+// full reconstruction, printing the metrics the paper reports.
+//
+// Usage:
+//
+//	raidsim -mode recon -c 21 -g 5 -rate 210 -reads 0.5 -procs 8
+//	raidsim -mode faultfree -g 21 -rate 378 -reads 1
+//	raidsim -mode degraded -g 10 -rate 105 -reads 0 -scale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"declust/internal/trace"
+
+	"declust"
+)
+
+func main() {
+	mode := flag.String("mode", "recon", "faultfree | degraded | recon")
+	c := flag.Int("c", 21, "number of disks")
+	g := flag.Int("g", 5, "parity stripe size (g = c selects RAID 5)")
+	rate := flag.Float64("rate", 210, "user accesses per second")
+	reads := flag.Float64("reads", 0.5, "fraction of user accesses that are reads")
+	alg := flag.String("alg", "baseline", "baseline | user-writes | redirect | piggyback")
+	procs := flag.Int("procs", 1, "parallel reconstruction processes")
+	scale := flag.Int("scale", 1, "disk capacity divisor (1 = full IBM 0661)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	warm := flag.Float64("warmup", 10, "warmup seconds before measurement")
+	measure := flag.Float64("measure", 120, "measurement seconds (faultfree/degraded)")
+	throttle := flag.Float64("throttle", 0, "max reconstruction cycles/s per process (0 = off)")
+	lowprio := flag.Bool("lowprio", false, "schedule reconstruction below user accesses")
+	size := flag.Int("size", 1, "access size in 4 KB stripe units")
+	sparing := flag.Bool("sparing", false, "distributed sparing: reconstruct into per-stripe spare units")
+	datamap := flag.String("datamap", "stripe-index", "data mapping: stripe-index | parallel")
+	traceOut := flag.String("trace", "", "write the measured user accesses to this trace file")
+	replayIn := flag.String("replay", "", "replay a trace file instead of the synthetic workload")
+	flag.Parse()
+
+	algorithm := map[string]declust.ReconAlgorithm{
+		"baseline":    declust.Baseline,
+		"user-writes": declust.UserWrites,
+		"redirect":    declust.Redirect,
+		"piggyback":   declust.RedirectPiggyback,
+	}[*alg]
+
+	cfg := declust.SimConfig{
+		C: *c, G: *g,
+		ScaleNum: 1, ScaleDen: *scale,
+		RatePerSec:   *rate,
+		ReadFraction: *reads,
+		AccessUnits:  *size,
+		Seed:         *seed,
+		Algorithm:    algorithm,
+		ReconProcs:   *procs,
+		WarmupMS:     *warm * 1000,
+		MeasureMS:    *measure * 1000,
+
+		ParallelDataMap:           *datamap == "parallel",
+		DistributedSparing:        *sparing,
+		ReconThrottleCyclesPerSec: *throttle,
+		ReconLowPriority:          *lowprio,
+	}
+
+	var captured trace.Log
+	if *traceOut != "" {
+		cfg.CaptureTrace = &captured
+	}
+	if *replayIn != "" {
+		f, err := os.Open(*replayIn)
+		if err != nil {
+			fail(err)
+		}
+		log, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		rep, err := trace.NewReplayer(log)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Source = rep
+		fmt.Printf("replaying %d recorded accesses from %s\n", log.Len(), *replayIn)
+	}
+
+	m, err := declust.NewMapping(*c, *g, 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("array:    ", m.Describe())
+	fmt.Printf("workload:  %.0f accesses/s, %.0f%% reads, seed %d\n", *rate, *reads*100, *seed)
+
+	var res declust.Metrics
+	switch *mode {
+	case "faultfree":
+		res, err = declust.RunFaultFree(cfg)
+	case "degraded":
+		res, err = declust.RunDegraded(cfg)
+	case "recon":
+		fmt.Printf("recovery:  %s algorithm, %d process(es)\n", algorithm, *procs)
+		res, err = declust.RunReconstruction(cfg)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("user response:  mean %.1f ms, σ %.1f ms, P90 %.1f ms (%d requests)\n",
+		res.MeanResponseMS, res.StdResponseMS, res.P90ResponseMS, res.Requests)
+	if *mode == "recon" {
+		fmt.Printf("reconstruction: %.1f minutes (%.0f ms), %d sweep cycles\n",
+			res.ReconTimeMS/60_000, res.ReconTimeMS, res.ReconCycles)
+		fmt.Printf("recon cycle:    read %.1f ms (σ %.1f) + write %.1f ms (σ %.1f)\n",
+			res.ReadPhaseMeanMS, res.ReadPhaseStdMS, res.WritePhaseMeanMS, res.WritePhaseStdMS)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := captured.WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace:          %d accesses written to %s\n", captured.Len(), *traceOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "raidsim:", err)
+	os.Exit(1)
+}

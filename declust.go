@@ -1,0 +1,178 @@
+// Package declust is a library-level reproduction of "Parity Declustering
+// for Continuous Operation in Redundant Disk Arrays" (Holland & Gibson,
+// CMU-CS-92-130 / ASPLOS 1992).
+//
+// Parity declustering spreads parity stripes of G units over C > G disks
+// using balanced incomplete (or complete) block designs, so that
+// reconstructing a failed disk reads only a fraction α = (G−1)/(C−1) of
+// each survivor. The package exposes:
+//
+//   - layout construction and inspection (NewMapping): block-design
+//     selection, the declustered layout, left-symmetric RAID 5, and the
+//     paper's §4.1 layout-goodness criteria;
+//   - block design machinery (PaperDesign, SelectDesign): the six appendix
+//     designs, plus generators for complete designs, cyclic difference
+//     families, derived/residual/complement designs, Steiner triple
+//     systems and projective/affine planes;
+//   - disk-accurate simulation (RunFaultFree, RunDegraded,
+//     RunReconstruction): an event-driven array simulator in the spirit of
+//     raidSim, with IBM 0661 drives, CVSCAN scheduling, a Sprite-style
+//     striping driver, and the four reconstruction algorithms of §8;
+//   - the Muntz & Lui analytic reconstruction model (AnalyticModel) and an
+//     MTTDL reliability model (Reliability).
+//
+// Quickstart:
+//
+//	m, err := declust.NewMapping(21, 5, 0) // 21 disks, G=5 (α=0.2)
+//	fmt.Println(m.Describe())
+//	res, err := declust.RunReconstruction(declust.SimConfig{
+//		C: 21, G: 5, RatePerSec: 210, ReadFraction: 0.5, ReconProcs: 8,
+//	})
+//	fmt.Printf("reconstruction took %.1f minutes\n", res.ReconTimeMS/60000)
+//
+// The runnable programs under cmd/ and examples/ exercise this API, and
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md).
+package declust
+
+import (
+	"declust/internal/analytic"
+	"declust/internal/array"
+	"declust/internal/blockdesign"
+	"declust/internal/core"
+	"declust/internal/disk"
+	"declust/internal/layout"
+	"declust/internal/trace"
+	"io"
+)
+
+// Mapping bundles a chosen parity layout with its provenance; see
+// NewMapping.
+type Mapping = core.Mapping
+
+// SimConfig describes one simulation run; zero values select the paper's
+// configuration (full-size IBM 0661 disks, 4 KB units, CVSCAN).
+type SimConfig = core.SimConfig
+
+// Metrics reports one simulation run's results.
+type Metrics = core.Metrics
+
+// ReconAlgorithm selects the §8 reconstruction algorithm.
+type ReconAlgorithm = array.ReconAlgorithm
+
+// The four reconstruction algorithms evaluated by the paper.
+const (
+	Baseline          = array.Baseline
+	UserWrites        = array.UserWrites
+	Redirect          = array.Redirect
+	RedirectPiggyback = array.RedirectPiggyback
+)
+
+// Criteria reports a layout's standing against the paper's §4.1 goodness
+// criteria.
+type Criteria = layout.Criteria
+
+// Layout is a periodic mapping of parity stripes to disks.
+type Layout = layout.Layout
+
+// Loc addresses one stripe unit (disk, unit offset).
+type Loc = layout.Loc
+
+// Design is a balanced (complete or incomplete) block design.
+type Design = blockdesign.Design
+
+// DesignParams are the five classic BIBD parameters.
+type DesignParams = blockdesign.Params
+
+// Geometry describes a disk drive model.
+type Geometry = disk.Geometry
+
+// Trace is a recorded user-level I/O trace (see SimConfig.CaptureTrace).
+type Trace = trace.Log
+
+// TraceRecord is one completed access in a Trace.
+type TraceRecord = trace.Record
+
+// TraceReplayer replays a Trace's arrival process as a workload source.
+type TraceReplayer = trace.Replayer
+
+// AnalyticModel is the Muntz & Lui reconstruction-time model (§8.3).
+type AnalyticModel = analytic.Model
+
+// Reliability is the MTTDL model derived from reconstruction time.
+type Reliability = analytic.Reliability
+
+// NewMapping selects a parity layout for an array of c disks with parity
+// stripes of g units: left-symmetric RAID 5 when g = c, otherwise a
+// declustered layout over the best available block design. maxTuples
+// bounds the block design table (0 = default); when no feasible design
+// exists at g, the closest feasible declustering ratio is substituted and
+// Mapping.Exact reports false.
+func NewMapping(c, g, maxTuples int) (*Mapping, error) {
+	return core.NewMapping(c, g, maxTuples)
+}
+
+// RunFaultFree measures steady-state user response time with no failure
+// (paper §6).
+func RunFaultFree(cfg SimConfig) (Metrics, error) { return core.RunFaultFree(cfg) }
+
+// RunDegraded measures user response time with one failed, unreplaced disk
+// (paper §7).
+func RunDegraded(cfg SimConfig) (Metrics, error) { return core.RunDegraded(cfg) }
+
+// RunReconstruction fails a disk, reconstructs it onto a replacement under
+// user load, and reports reconstruction time and user response time during
+// recovery (paper §8).
+func RunReconstruction(cfg SimConfig) (Metrics, error) { return core.RunReconstruction(cfg) }
+
+// LifecycleConfig drives a long-horizon continuous-operation simulation:
+// random disk failures, replacement, online reconstruction, repeat.
+type LifecycleConfig = core.LifecycleConfig
+
+// LifecycleReport summarizes availability and per-state response times.
+type LifecycleReport = core.LifecycleReport
+
+// RunLifecycle simulates continuous operation through repeated disk
+// failures and repairs (the paper's title scenario).
+func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) { return core.RunLifecycle(cfg) }
+
+// NewSparedMapping selects a distributed-sparing layout (per-stripe spare
+// units over a G+1 design); use with SimConfig.DistributedSparing.
+func NewSparedMapping(c, g, maxTuples int) (*Mapping, error) {
+	return core.NewSparedMapping(c, g, maxTuples)
+}
+
+// DataLoc resolves a logical data unit to its disk and unit offset under
+// the paper's "by parity stripe index" data mapping.
+func DataLoc(l Layout, n int64) Loc { return layout.DataLoc(l, n) }
+
+// ParityLoc returns the location of a parity stripe's parity unit.
+func ParityLoc(l Layout, stripe int64) Loc { return layout.ParityLoc(l, stripe) }
+
+// SurvivingUnits returns the other units of the parity stripe owning loc —
+// exactly the reads needed to reconstruct loc's contents.
+func SurvivingUnits(l Layout, loc Loc) []Loc { return layout.SurvivingUnits(l, loc) }
+
+// IBM0661 returns the paper's disk model (Table 5-1).
+func IBM0661() Geometry { return disk.IBM0661() }
+
+// PaperDesign returns one of the six block designs of the paper's appendix
+// (21 disks; g ∈ {3, 4, 5, 6, 10, 18}).
+func PaperDesign(g int) (*Design, error) { return blockdesign.PaperDesign(g) }
+
+// ReadTrace parses a trace written by Trace.WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// NewTraceReplayer builds a workload source replaying a recorded trace;
+// assign it to SimConfig.Source.
+func NewTraceReplayer(t *Trace) (*TraceReplayer, error) { return trace.NewReplayer(t) }
+
+// SelectDesign finds the best available block design for C disks and
+// parity stripe size G, per the paper's §4.3 procedure.
+func SelectDesign(c, g, maxTuples int) (*Design, bool, error) {
+	sel, err := blockdesign.Select(c, g, maxTuples)
+	if err != nil {
+		return nil, false, err
+	}
+	return sel.Design, sel.Exact, nil
+}

@@ -1,0 +1,91 @@
+package declust_test
+
+import (
+	"strings"
+	"testing"
+
+	"declust"
+)
+
+func TestFacadeMapping(t *testing.T) {
+	m, err := declust.NewMapping(21, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Alpha() != 0.2 {
+		t.Fatalf("α = %v, want 0.2", m.Alpha())
+	}
+	if !strings.Contains(m.Describe(), "declustered") {
+		t.Fatalf("describe: %s", m.Describe())
+	}
+	crit, err := m.Criteria()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crit.SingleFailureCorrecting {
+		t.Fatal("criteria not evaluated")
+	}
+}
+
+func TestFacadePaperDesign(t *testing.T) {
+	d, err := declust.PaperDesign(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 21 || p.Lambda != 1 {
+		t.Fatalf("params %+v", p)
+	}
+}
+
+func TestFacadeSelectDesign(t *testing.T) {
+	d, exact, err := declust.SelectDesign(21, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact || d.K != 6 {
+		t.Fatalf("exact=%v k=%d", exact, d.K)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	res, err := declust.RunReconstruction(declust.SimConfig{
+		C: 21, G: 5,
+		ScaleNum: 1, ScaleDen: 50,
+		RatePerSec: 105, ReadFraction: 0.5,
+		ReconProcs: 8,
+		Algorithm:  declust.Redirect,
+		WarmupMS:   2000, MeasureMS: 10000,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReconTimeMS <= 0 {
+		t.Fatal("no reconstruction time")
+	}
+}
+
+func TestFacadeGeometry(t *testing.T) {
+	g := declust.IBM0661()
+	if g.Cylinders != 949 {
+		t.Fatalf("cylinders = %d", g.Cylinders)
+	}
+}
+
+func TestFacadeAnalytic(t *testing.T) {
+	m := declust.AnalyticModel{
+		C: 21, G: 5, UserRate: 105, ReadFraction: 0.5,
+		DiskRate: 46, UnitsPerDisk: 79710,
+	}
+	if _, err := m.ReconstructionTime(); err != nil {
+		t.Fatal(err)
+	}
+	r := declust.Reliability{C: 21, MTTFHours: 150000, MTTRHours: 1}
+	if _, err := r.MTTDLHours(); err != nil {
+		t.Fatal(err)
+	}
+}

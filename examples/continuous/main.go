@@ -1,0 +1,66 @@
+// Continuous: the paper's title scenario, end to end. The array serves an
+// OLTP workload for a long (accelerated) horizon while disks fail at
+// random; each failure is replaced and reconstructed online. The example
+// compares repair policies (spare installation lag, reconstruction
+// parallelism) and reports availability and how response time looks in
+// each operating state. Disk aging is accelerated ~100,000x so a
+// 20-minute horizon sees many failures; real MTTFs give availability
+// with many more nines.
+//
+//	go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"declust"
+)
+
+func main() {
+	base := declust.SimConfig{
+		C: 21, G: 5,
+		ScaleNum: 1, ScaleDen: 20, // accelerated demo scale
+		RatePerSec:   210,
+		ReadFraction: 0.5,
+		Algorithm:    declust.Redirect,
+		Seed:         5,
+	}
+
+	fmt.Println("Continuous operation, 21 disks, G=5, 210 accesses/s, 50% reads")
+	fmt.Println("accelerated aging: disk MTTF = 0.1 h; horizon = 20 simulated minutes")
+	fmt.Println()
+	fmt.Printf("%-26s %-8s %-14s %-30s %-8s\n",
+		"repair policy", "repairs", "availability", "response ff/deg/recon (ms)", "risks")
+
+	policies := []struct {
+		label string
+		procs int
+		delay float64
+	}{
+		{"hot spare, 8-way recon", 8, 0},
+		{"hot spare, 1-way recon", 1, 0},
+		{"30 s swap, 8-way recon", 8, 30_000},
+	}
+	for _, p := range policies {
+		cfg := base
+		cfg.ReconProcs = p.procs
+		rep, err := declust.RunLifecycle(declust.LifecycleConfig{
+			Sim:                cfg,
+			MTTFHours:          0.1,
+			ReplacementDelayMS: p.delay,
+			DurationMS:         20 * 60_000,
+			FailureSeed:        77,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %-8d %-14s %-30s %-8d\n",
+			p.label, rep.Failures,
+			fmt.Sprintf("%.2f%%", 100*rep.Availability),
+			fmt.Sprintf("%.0f / %.0f / %.0f", rep.FaultFreeResponseMS, rep.DegradedResponseMS, rep.ReconResponseMS),
+			rep.DoubleFaultRisks)
+	}
+	fmt.Println("\n'risks' counts failure arrivals while already degraded — the exposure")
+	fmt.Println("window that fast reconstruction exists to shrink (paper §2).")
+}

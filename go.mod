@@ -1,0 +1,3 @@
+module declust
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package analytic re-implements the Muntz & Lui reconstruction-time model
+// [Muntz90] as the paper describes it in §8.3, for the Figure 8-6
+// comparison against simulation.
+//
+// The model's defining simplification — the one the paper criticizes — is a
+// single service rate: every disk executes at most DiskRate accesses per
+// second regardless of position, so a sequential reconstruction write costs
+// the same as a random user access. Reconstruction proceeds at whatever
+// rate the bottleneck resource (the surviving set or the replacement disk)
+// has left after user traffic, with either driven to 100% utilization.
+//
+// Workload conversion (paper §8.3): with R the fraction of user accesses
+// that are reads, each user write induces two disk reads and two disk
+// writes, so the disk access arrival rate is (4−3R) times the user rate
+// and the disk read fraction is (2−R)/(4−3R). The model works in disk
+// accesses throughout.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm mirrors the four reconstruction algorithms of §8. It is a
+// separate type from the array package's so the analytic model has no
+// dependency on the simulator.
+type Algorithm int
+
+const (
+	Baseline Algorithm = iota
+	UserWrites
+	Redirect
+	RedirectPiggyback
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case UserWrites:
+		return "user-writes"
+	case Redirect:
+		return "redirect"
+	case RedirectPiggyback:
+		return "redirect+piggyback"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Model parameterizes the analytic reconstruction-time computation.
+type Model struct {
+	C int // disks in the array
+	G int // units per parity stripe
+
+	UserRate     float64 // user accesses per second (whole array)
+	ReadFraction float64 // fraction of user accesses that are reads
+	DiskRate     float64 // maximum accesses per second per disk (μ)
+	UnitsPerDisk float64 // stripe units to reconstruct (S)
+
+	Algorithm Algorithm
+}
+
+// Alpha returns the declustering ratio.
+func (m Model) Alpha() float64 { return float64(m.G-1) / float64(m.C-1) }
+
+// validate checks the model's parameters.
+func (m Model) validate() error {
+	switch {
+	case m.C < 3 || m.G < 2 || m.G > m.C:
+		return fmt.Errorf("analytic: need 2 <= G <= C and C >= 3, have C=%d G=%d", m.C, m.G)
+	case m.UserRate < 0 || m.ReadFraction < 0 || m.ReadFraction > 1:
+		return fmt.Errorf("analytic: bad workload (rate %v, read fraction %v)", m.UserRate, m.ReadFraction)
+	case m.DiskRate <= 0:
+		return fmt.Errorf("analytic: disk rate must be positive, have %v", m.DiskRate)
+	case m.UnitsPerDisk <= 0:
+		return fmt.Errorf("analytic: units per disk must be positive, have %v", m.UnitsPerDisk)
+	}
+	return nil
+}
+
+// loads returns the user-induced disk access rates per surviving disk and
+// on the replacement disk, when fraction f of the failed disk has been
+// reconstructed. Derivation, per user access (addresses uniform over the
+// array, so each unit involved lands on the failed disk with probability
+// 1/C):
+//
+//	read of a healthy unit: 1 survivor access
+//	read of a lost unit: G−1 survivor reads (on-the-fly), or — once
+//	    reconstructed, under Redirect — 1 replacement access
+//	write with both units healthy: 2+2 accesses on two disks
+//	write to a lost, unreconstructed data unit: G−2 survivor reads +
+//	    1 survivor parity write (+ 1 replacement write unless Baseline)
+//	write to a lost, reconstructed data unit: 2 replacement accesses +
+//	    2 survivor accesses
+//	write with lost, unreconstructed parity: 1 survivor data write
+//	write with lost, reconstructed parity: 2 replacement + 2 survivor
+func (m Model) loads(f float64) (survivor, replacement float64) {
+	c := float64(m.C)
+	g := float64(m.G)
+	r := m.ReadFraction
+	w := 1 - r
+	lam := m.UserRate
+
+	var surv, repl float64
+
+	// Reads.
+	surv += lam * r * (c - 1) / c // healthy target
+	redirect := m.Algorithm == Redirect || m.Algorithm == RedirectPiggyback
+	if redirect {
+		surv += lam * r / c * (1 - f) * (g - 1)
+		repl += lam * r / c * f
+	} else {
+		surv += lam * r / c * (g - 1)
+	}
+	// Piggybacked write-back of on-the-fly reads.
+	if m.Algorithm == RedirectPiggyback {
+		repl += lam * r / c * (1 - f)
+	}
+
+	// Writes: the target data unit and its parity unit each lie on the
+	// failed disk with probability 1/C (disjointly).
+	healthy := (c - 2) / c
+	surv += lam * w * healthy * 4
+
+	// Data unit lost.
+	if m.Algorithm == Baseline {
+		surv += lam * w / c * (1 - f) * (g - 1) // fold: G−2 reads + parity write
+	} else {
+		surv += lam * w / c * (1 - f) * (g - 1)
+		repl += lam * w / c * (1 - f) // the direct replacement write
+	}
+	surv += lam * w / c * f * 2 // reconstructed: RMW, parity half on survivors
+	repl += lam * w / c * f * 2 // ... data half on the replacement
+
+	// Parity unit lost.
+	surv += lam * w / c * (1 - f) * 1 // write data only
+	surv += lam * w / c * f * 2       // reconstructed parity: RMW split
+	repl += lam * w / c * f * 2
+
+	return surv / (c - 1), repl
+}
+
+// freeReconRate returns the rate (units/s) at which user activity itself
+// reconstructs units, at reconstructed fraction f.
+func (m Model) freeReconRate(f float64) float64 {
+	c := float64(m.C)
+	var rate float64
+	if m.Algorithm != Baseline {
+		rate += m.UserRate * (1 - m.ReadFraction) / c * (1 - f) // user-writes
+	}
+	if m.Algorithm == RedirectPiggyback {
+		rate += m.UserRate * m.ReadFraction / c * (1 - f) // piggyback
+	}
+	return rate
+}
+
+// ReconstructionTime integrates the model forward and returns the
+// predicted reconstruction time in seconds. It returns an error when the
+// user load alone saturates a resource (the model then predicts the sweep
+// never finishes).
+func (m Model) ReconstructionTime() (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	g := float64(m.G)
+	c := float64(m.C)
+	s := m.UnitsPerDisk
+
+	remaining := s
+	t := 0.0
+	const steps = 10000
+	du := s / steps
+	for remaining > 0 {
+		f := 1 - remaining/s
+		surv, repl := m.loads(f)
+		// Reconstructing one unit costs G−1 survivor reads spread
+		// over C−1 disks, plus one replacement write.
+		survRate := (m.DiskRate - surv) * (c - 1) / (g - 1)
+		replRate := m.DiskRate - repl
+		rate := math.Min(survRate, replRate)
+		if rate <= 0 {
+			return 0, fmt.Errorf("analytic: user load saturates the array (surv %.1f/s, repl %.1f/s of %.1f/s)",
+				surv, repl, m.DiskRate)
+		}
+		rate += m.freeReconRate(f)
+		step := du
+		if step > remaining {
+			step = remaining
+		}
+		t += step / rate
+		remaining -= step
+	}
+	return t, nil
+}
+
+// FaultFreeDiskLoad returns the per-disk disk-access rate implied by the
+// user workload in the fault-free state; the array is stable while this is
+// below DiskRate.
+func (m Model) FaultFreeDiskLoad() float64 {
+	return m.UserRate * (4 - 3*m.ReadFraction) / float64(m.C)
+}
+
+// DiskAccessReadFraction returns the read fraction of the disk access
+// stream implied by the user read fraction (paper §8.3).
+func (m Model) DiskAccessReadFraction() float64 {
+	return (2 - m.ReadFraction) / (4 - 3*m.ReadFraction)
+}

@@ -1,0 +1,314 @@
+package array
+
+import (
+	"fmt"
+
+	"declust/internal/disk"
+	"declust/internal/layout"
+)
+
+// xfer is one unit-sized disk transfer.
+type xfer struct {
+	loc   layout.Loc
+	write bool
+}
+
+const (
+	userPriority  = 0
+	reconPriority = -1
+)
+
+// io issues a set of transfers in parallel and calls done when the last
+// completes.
+//
+// Writes addressed to a failed slot with no replacement are dropped: a
+// disk can fail between an operation's phases (its path was chosen while
+// the disk was healthy), and a fail-stop disk simply loses the write — the
+// stripe stays recoverable through the surviving write of the pair, which
+// is why parity and data commit in the same phase. Reads of such a slot,
+// or of a not-yet-reconstructed replacement unit, can never be correct and
+// panic as driver bugs.
+func (a *Array) io(xs []xfer, prio int, done func()) {
+	if len(xs) == 0 {
+		panic("array: empty io phase")
+	}
+	n := len(xs)
+	for _, x := range xs {
+		if x.loc.Disk == a.failed {
+			if !x.write {
+				if !a.replacement && a.spareLay == nil {
+					panic(fmt.Sprintf("array: read of failed disk %d with no replacement", x.loc.Disk))
+				}
+				if !a.reconDone[x.loc.Offset] {
+					panic(fmt.Sprintf("array: read of unreconstructed unit %v", x.loc))
+				}
+			} else if !a.replacement && a.spareLay == nil {
+				// Dropped write to a dead disk.
+				n--
+				if n == 0 {
+					done()
+				}
+				continue
+			}
+		}
+		// Under distributed sparing, units of the failed disk live (or
+		// will live) in their stripes' spare slots on survivors.
+		target := a.phys(x.loc)
+		a.disks[target.Disk].Submit(&disk.Request{
+			Start:    a.unitSector(target.Offset),
+			Count:    a.cfg.UnitSectors,
+			Write:    x.write,
+			Priority: prio,
+			OnDone: func(_, _ float64) {
+				n--
+				if n == 0 {
+					done()
+				}
+			},
+		})
+	}
+}
+
+// reads builds read transfers for a set of locations.
+func reads(locs []layout.Loc) []xfer {
+	xs := make([]xfer, len(locs))
+	for i, l := range locs {
+		xs[i] = xfer{loc: l}
+	}
+	return xs
+}
+
+// newValue mints a fresh distinct content word for a user write.
+func (a *Array) newValue() uint64 {
+	a.writeSeq++
+	return splitmix64(a.writeSeq | 1<<63)
+}
+
+// xorUnits XORs the current contents of a set of units.
+func (a *Array) xorUnits(locs []layout.Loc) uint64 {
+	var v uint64
+	for _, l := range locs {
+		v ^= a.unitVal(l)
+	}
+	return v
+}
+
+// dataUnitsOf returns the stripe's data unit locations excluding `except`
+// (pass an invalid Loc to keep all).
+func (a *Array) dataUnitsOf(stripe int64, except layout.Loc) []layout.Loc {
+	g := a.lay.G()
+	pp := a.lay.ParityPos(stripe)
+	out := make([]layout.Loc, 0, g-1)
+	for j := 0; j < g; j++ {
+		if j == pp {
+			continue
+		}
+		u := a.lay.Unit(stripe, j)
+		if u != except {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Read performs a user read of one data unit, invoking done with the value
+// read. In degraded mode, reads of lost units reconstruct on the fly;
+// under the Redirect algorithms, reads of already-reconstructed units go
+// to the replacement disk.
+func (a *Array) Read(unit int64, done func(value uint64)) {
+	if unit < 0 || unit >= a.dataUnits {
+		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
+	}
+	loc := a.mapper.Loc(unit)
+	plain := func() {
+		a.io([]xfer{{loc: loc}}, userPriority, func() {
+			done(a.unitVal(loc))
+		})
+	}
+	if loc.Disk != a.failed || a.redirectableRead(loc) {
+		plain()
+		return
+	}
+	// On-the-fly reconstruction under the stripe lock: a consistent
+	// multi-unit read that must not interleave with parity updates.
+	stripe, _ := a.lay.Locate(loc)
+	a.locks.acquire(stripe, func() {
+		// Re-evaluate: reconstruction or healing may have happened
+		// while waiting for the lock.
+		if loc.Disk != a.failed || a.redirectableRead(loc) {
+			a.io([]xfer{{loc: loc}}, userPriority, func() {
+				a.locks.release(stripe)
+				done(a.unitVal(loc))
+			})
+			return
+		}
+		surv := layout.SurvivingUnits(a.lay, loc)
+		a.io(reads(surv), userPriority, func() {
+			value := a.xorUnits(surv)
+			if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
+				// The user's data is ready now; the piggybacked
+				// write to the replacement continues under the
+				// stripe lock.
+				done(value)
+				a.io([]xfer{{loc: loc, write: true}}, userPriority, func() {
+					a.setUnitVal(loc, value)
+					a.markReconstructed(loc.Offset)
+					a.locks.release(stripe)
+				})
+				return
+			}
+			a.locks.release(stripe)
+			done(value)
+		})
+	})
+}
+
+// redirectableRead reports whether a read of a lost unit may be serviced
+// directly from its reconstructed copy (replacement disk or spare unit).
+// During recovery only the Redirect algorithms do so; once a distributed-
+// sparing reconstruction has completed, every algorithm serves spared
+// units directly — recovery is over.
+func (a *Array) redirectableRead(loc layout.Loc) bool {
+	if !a.reconDone[loc.Offset] {
+		return false
+	}
+	if a.spared {
+		return true
+	}
+	return (a.replacement || a.spareLay != nil) &&
+		(a.cfg.Algorithm == Redirect || a.cfg.Algorithm == RedirectPiggyback)
+}
+
+// Write performs a user write of one data unit, invoking done when the
+// array has committed data and parity. All writes serialize on their
+// stripe's lock because they read-modify-write the shared parity unit.
+func (a *Array) Write(unit int64, done func()) {
+	if unit < 0 || unit >= a.dataUnits {
+		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
+	}
+	loc := a.mapper.Loc(unit)
+	stripe, _ := a.lay.Locate(loc)
+	value := a.newValue()
+	a.locks.acquire(stripe, func() {
+		a.writeLocked(unit, loc, stripe, value, done)
+	})
+}
+
+// writeLocked chooses the write path with the stripe lock held, so the
+// failure state it sees cannot change under it.
+func (a *Array) writeLocked(unit int64, loc layout.Loc, stripe int64, value uint64, done func()) {
+	ploc := layout.ParityLoc(a.lay, stripe)
+	finish := func() {
+		a.locks.release(stripe)
+		done()
+	}
+	switch {
+	case a.available(loc) && a.available(ploc):
+		a.writeNormal(unit, loc, stripe, ploc, value, finish)
+	case !a.available(loc):
+		a.writeLostData(unit, loc, stripe, ploc, value, finish)
+	default:
+		// Parity is lost and not reconstructed: there is no value in
+		// updating it, so the write is a single data access (§7); the
+		// parity unit will be recomputed from data when its turn in
+		// the sweep comes.
+		a.io([]xfer{{loc: loc, write: true}}, userPriority, func() {
+			a.setUnitVal(loc, value)
+			a.expected[unit] = value
+			finish()
+		})
+	}
+}
+
+// writeNormal is the fault-free path, also used when the touched units are
+// already reconstructed on the replacement: the four-access
+// read-modify-write, or the three-access small-write when the stripe has
+// exactly three units and the third is readable.
+func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, finish func()) {
+	if a.lay.G() == 2 {
+		// Mirroring degenerate: the parity unit is a copy of the data
+		// unit, so the write is two plain writes with no pre-reads —
+		// the G=2 declustered layout behaves as declustered mirroring
+		// (Copeland & Keller's interleaved declustering, §3).
+		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func() {
+			a.setUnitVal(loc, value)
+			a.setUnitVal(ploc, value)
+			a.expected[unit] = value
+			finish()
+		})
+		return
+	}
+	// Contents feeding parity computations are sampled when the reads
+	// are submitted, not when they complete: the stripe lock guarantees
+	// no writer changes them in flight, while a concurrent Replace()
+	// swaps the failed slot's content array and would otherwise make a
+	// completion-time sample read fresh zeros instead of what the
+	// platter returned.
+	if a.cfg.SmallWriteOpt && a.lay.G() == 3 {
+		others := a.dataUnitsOf(stripe, loc)
+		if len(others) == 1 && a.available(others[0]) {
+			other := others[0]
+			otherData := a.unitVal(other)
+			// Overlap the companion read with the data write, then
+			// write parity computed from the two new values.
+			a.io([]xfer{{loc: other}, {loc: loc, write: true}}, userPriority, func() {
+				a.setUnitVal(loc, value)
+				a.expected[unit] = value
+				parity := value ^ otherData
+				a.io([]xfer{{loc: ploc, write: true}}, userPriority, func() {
+					a.setUnitVal(ploc, parity)
+					finish()
+				})
+			})
+			return
+		}
+	}
+	// Pre-read old data and parity, then overwrite both.
+	oldData := a.unitVal(loc)
+	oldParity := a.unitVal(ploc)
+	a.io([]xfer{{loc: loc}, {loc: ploc}}, userPriority, func() {
+		newParity := oldParity ^ oldData ^ value
+		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func() {
+			a.setUnitVal(loc, value)
+			a.setUnitVal(ploc, newParity)
+			a.expected[unit] = value
+			finish()
+		})
+	})
+}
+
+// writeLostData handles a write whose data unit is on the failed slot and
+// not yet reconstructed. Under Baseline (or with no replacement installed)
+// the write folds into the parity unit: parity absorbs the new data so a
+// later sweep reconstructs the new value. Under the other algorithms the
+// new data also goes directly to the replacement, which counts as
+// reconstruction.
+func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, finish func()) {
+	others := a.dataUnitsOf(stripe, loc) // G-2 surviving data units
+	toReplacement := (a.replacement || a.spareLay != nil) && a.cfg.Algorithm != Baseline
+	commitParity := func(newParity uint64) {
+		if toReplacement {
+			a.io([]xfer{{loc: ploc, write: true}, {loc: loc, write: true}}, userPriority, func() {
+				a.setUnitVal(ploc, newParity)
+				a.setUnitVal(loc, value)
+				a.expected[unit] = value
+				a.markReconstructed(loc.Offset)
+				finish()
+			})
+			return
+		}
+		a.io([]xfer{{loc: ploc, write: true}}, userPriority, func() {
+			a.setUnitVal(ploc, newParity)
+			a.expected[unit] = value
+			finish()
+		})
+	}
+	if len(others) == 0 {
+		// G = 2 (mirroring degenerate): parity is the lost unit's twin.
+		commitParity(value)
+		return
+	}
+	a.io(reads(others), userPriority, func() {
+		commitParity(a.xorUnits(others) ^ value)
+	})
+}

@@ -1,0 +1,183 @@
+package array
+
+import (
+	"fmt"
+
+	"declust/internal/layout"
+	"declust/internal/stats"
+)
+
+// Reconstruct starts cfg.ReconProcs parallel reconstruction processes that
+// sweep the failed disk's units in offset order, reconstructing each from
+// its parity stripe's survivors and writing it to the replacement — or,
+// under distributed sparing, into its stripe's spare unit on a surviving
+// disk. done fires when every lost unit is live again; with a replacement
+// the array then heals to the fault-free state, with distributed sparing
+// it enters the spared state (Spared reports true).
+func (a *Array) Reconstruct(done func()) error {
+	if a.failed < 0 {
+		return fmt.Errorf("array: nothing to reconstruct; no disk failed")
+	}
+	if !a.replacement && a.spareLay == nil {
+		return fmt.Errorf("array: no replacement installed")
+	}
+	if a.reconActive {
+		return fmt.Errorf("array: reconstruction already running")
+	}
+	a.reconActive = true
+	a.reconStartMS = a.eng.Now()
+	a.reconCursor = 0
+	a.reconOnDone = done
+	a.reconRemaining = 0
+	for _, d := range a.reconDone {
+		if !d {
+			a.reconRemaining++
+		}
+	}
+	if a.reconRemaining == 0 {
+		a.finishRecon()
+		return nil
+	}
+	procs := a.cfg.ReconProcs
+	if int64(procs) > a.reconRemaining {
+		procs = int(a.reconRemaining)
+	}
+	a.reconProcsLive = procs
+	for i := 0; i < procs; i++ {
+		a.reconStep()
+	}
+	return nil
+}
+
+// reconPrio returns the disk scheduling class for reconstruction accesses.
+func (a *Array) reconPrio() int {
+	if a.cfg.ReconLowPriority {
+		return reconPriority
+	}
+	return userPriority
+}
+
+// nextReconOffset advances the shared sweep cursor to the next offset not
+// yet reconstructed.
+func (a *Array) nextReconOffset() (int64, bool) {
+	for a.reconCursor < a.unitsPerDisk {
+		o := a.reconCursor
+		a.reconCursor++
+		if !a.reconDone[o] {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// reconStep runs one reconstruction cycle of one process: claim the next
+// unit, lock its stripe, read the G−1 survivors, XOR, write the result to
+// the replacement, then schedule the next cycle.
+func (a *Array) reconStep() {
+	if !a.reconActive {
+		a.reconProcsLive--
+		return
+	}
+	off, ok := a.nextReconOffset()
+	if !ok {
+		// Sweep exhausted; remaining units (if any) are being finished
+		// by other processes or user activity.
+		a.reconProcsLive--
+		return
+	}
+	cycleStart := a.eng.Now()
+	loc := layout.Loc{Disk: a.failed, Offset: off}
+	stripe, _ := a.lay.Locate(loc)
+	a.locks.acquire(stripe, func() {
+		if !a.reconActive || a.reconDone[off] {
+			// A user write or piggyback reconstructed it first
+			// ("free reconstruction"); skip. Trampoline through the
+			// engine to bound recursion over long reconstructed runs.
+			a.locks.release(stripe)
+			a.eng.Schedule(0, a.reconStep)
+			return
+		}
+		surv := layout.SurvivingUnits(a.lay, loc)
+		readStart := a.eng.Now()
+		a.io(reads(surv), a.reconPrio(), func() {
+			value := a.xorUnits(surv)
+			a.readPhase.Add(a.eng.Now() - readStart)
+			writeStart := a.eng.Now()
+			a.io([]xfer{{loc: loc, write: true}}, a.reconPrio(), func() {
+				a.setUnitVal(loc, value)
+				a.writePhase.Add(a.eng.Now() - writeStart)
+				a.reconCycles++
+				a.markReconstructed(off)
+				a.locks.release(stripe)
+				a.scheduleNextCycle(cycleStart)
+			})
+		})
+	})
+}
+
+// scheduleNextCycle continues a process, honoring the optional throttle.
+func (a *Array) scheduleNextCycle(cycleStart float64) {
+	if !a.reconActive {
+		a.reconProcsLive--
+		return
+	}
+	if rate := a.cfg.ReconThrottleCyclesPerSec; rate > 0 {
+		minSpacing := 1000 / rate
+		if wait := cycleStart + minSpacing - a.eng.Now(); wait > 0 {
+			a.eng.Schedule(wait, a.reconStep)
+			return
+		}
+	}
+	a.reconStep()
+}
+
+// markReconstructed records that the failed slot's unit at off is now valid
+// on the replacement, whichever path produced it (sweep, user write, or
+// piggyback), and completes reconstruction when it was the last one.
+func (a *Array) markReconstructed(off int64) {
+	if a.reconDone[off] {
+		return
+	}
+	a.reconDone[off] = true
+	if a.reconActive {
+		a.reconRemaining--
+		if a.reconRemaining == 0 {
+			a.finishRecon()
+		}
+	}
+}
+
+// finishRecon completes recovery. With a replacement disk the array heals
+// (the slot is no longer failed); with distributed sparing the slot stays
+// dead but every lost unit is live in its spare, so the array enters the
+// spared state — copying back onto a new disk is left to operators.
+func (a *Array) finishRecon() {
+	a.reconEndMS = a.eng.Now()
+	a.reconActive = false
+	if a.spareLay != nil && a.failed >= 0 {
+		a.spared = true
+	} else {
+		a.failed = -1
+		a.replacement = false
+	}
+	if a.reconOnDone != nil {
+		done := a.reconOnDone
+		a.reconOnDone = nil
+		done()
+	}
+}
+
+// ReconTimeMS returns the duration of the last completed reconstruction.
+func (a *Array) ReconTimeMS() float64 { return a.reconEndMS - a.reconStartMS }
+
+// ReconCycles returns how many stripe units the sweep itself reconstructed
+// (units reconstructed by user activity are not counted).
+func (a *Array) ReconCycles() int64 { return a.reconCycles }
+
+// ReadPhase returns the per-cycle read phase durations (collect and XOR
+// the survivors), as in the paper's Table 8-1.
+func (a *Array) ReadPhase() *stats.Sample { return &a.readPhase }
+
+// WritePhase returns the per-cycle write phase durations (the replacement
+// disk write), as in the paper's Table 8-1.
+func (a *Array) WritePhase() *stats.Sample { return &a.writePhase }

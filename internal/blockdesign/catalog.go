@@ -1,0 +1,260 @@
+package blockdesign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// searchCache memoizes difference-family searches: nil entries record
+// definitive (within-budget) absence. Guarded by searchMu for safe use
+// from concurrent tests.
+var (
+	searchMu    sync.Mutex
+	searchCache = map[[3]int]*Design{}
+)
+
+// searchFamily returns a memoized searched family, or nil when none was
+// found within the standard budget.
+func searchFamily(v, k, lambda int) *Design {
+	key := [3]int{v, k, lambda}
+	searchMu.Lock()
+	defer searchMu.Unlock()
+	if d, ok := searchCache[key]; ok {
+		return d
+	}
+	d, err := FindDifferenceFamily(v, k, lambda, 500_000)
+	if err != nil {
+		d = nil
+	}
+	searchCache[key] = d
+	return d
+}
+
+// DefaultMaxTuples bounds the block design table size accepted by Select;
+// beyond it a layout violates the paper's efficient-mapping criterion
+// (§4.3's 41-disk example has ~3.75M tuples and is rejected).
+const DefaultMaxTuples = 1 << 16
+
+// Candidate describes a design the catalog can construct for a given v.
+type Candidate struct {
+	V, K   int
+	B      int // tuple count, for ranking
+	Source string
+	Build  func() (*Design, error)
+}
+
+// catalogFor enumerates every design the package knows how to construct on
+// exactly v objects with tuple count at most maxTuples, smallest b first.
+func catalogFor(v, maxTuples int) []Candidate {
+	var cands []Candidate
+	add := func(k, b int, source string, build func() (*Design, error)) {
+		if b <= maxTuples && k >= 2 && k <= v {
+			cands = append(cands, Candidate{V: v, K: k, B: b, Source: source, Build: build})
+		}
+	}
+
+	// The paper's appendix designs (v = 21 only).
+	if v == 21 {
+		bs := map[int]int{3: 70, 4: 105, 5: 21, 6: 42, 10: 42, 18: 1330}
+		for _, g := range PaperG {
+			g := g
+			add(g, bs[g], "paper appendix", func() (*Design, error) { return PaperDesign(g) })
+		}
+	}
+
+	// Bose Steiner triple systems: k=3, b = v(v-1)/6.
+	if v%6 == 3 && v >= 9 {
+		add(3, v*(v-1)/6, "Bose STS", func() (*Design, error) { return BoseSTS(v) })
+	}
+
+	// Projective planes: v = p²+p+1 for prime p, k = p+1, b = v.
+	for p := 2; p*p+p+1 <= v; p++ {
+		if p*p+p+1 == v && isPrime(p) {
+			p := p
+			add(p+1, v, "projective plane", func() (*Design, error) { return ProjectivePlane(p) })
+			// Complement reaches k = v-p-1 = p² with the same b.
+			add(v-(p+1), v, "projective plane complement", func() (*Design, error) {
+				d, err := ProjectivePlane(p)
+				if err != nil {
+					return nil, err
+				}
+				return Complement(d)
+			})
+		}
+	}
+
+	// Paley designs: v = q prime ≡ 3 (mod 4), k = (q−1)/2, b = q —
+	// symmetric designs near α = 1/2, plus their complements.
+	if isPrime(v) && v%4 == 3 && v >= 7 {
+		q := v
+		add((q-1)/2, q, "Paley", func() (*Design, error) { return Paley(q) })
+		add((q+1)/2, q, "Paley complement", func() (*Design, error) {
+			d, err := Paley(q)
+			if err != nil {
+				return nil, err
+			}
+			return Complement(d)
+		})
+	}
+
+	// Affine planes: v = p² for prime p, k = p, b = p²+p.
+	for p := 2; p*p <= v; p++ {
+		if p*p == v && isPrime(p) {
+			p := p
+			add(p, v+p, "affine plane", func() (*Design, error) { return AffinePlane(p) })
+			add(v-p, v+p, "affine plane complement", func() (*Design, error) {
+				d, err := AffinePlane(p)
+				if err != nil {
+					return nil, err
+				}
+				return Complement(d)
+			})
+		}
+	}
+
+	// Searched cyclic difference families: for small v and k, find the
+	// smallest λ whose block count divides evenly and search within a
+	// modest budget. Results (including failures) are memoized, and only
+	// families that actually exist are advertised. This fills many of
+	// the gaps the paper laments between the printed tables and the
+	// complete designs.
+	if v <= 31 {
+		for k := 3; k <= 5 && k <= v; k++ {
+			for lambda := 1; lambda <= 3; lambda++ {
+				if lambda*(v-1)%(k*(k-1)) != 0 {
+					continue
+				}
+				if searchFamily(v, k, lambda) == nil {
+					break // smallest feasible λ only; none found
+				}
+				b := lambda * v * (v - 1) / (k * (k - 1))
+				k, lambda := k, lambda
+				add(k, b, "searched family", func() (*Design, error) {
+					d := searchFamily(v, k, lambda)
+					if d == nil {
+						return nil, fmt.Errorf("blockdesign: no (%d,%d,%d) family", v, k, lambda)
+					}
+					return d.Clone(), nil
+				})
+				break
+			}
+		}
+	}
+
+	// Complete designs for every k, where small enough.
+	for k := 2; k <= v; k++ {
+		k := k
+		if b, err := Binomial(v, k); err == nil && b > 0 && b <= int64(maxTuples) {
+			add(k, int(b), "complete", func() (*Design, error) { return Complete(v, k, maxTuples) })
+		}
+	}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].K != cands[j].K {
+			return cands[i].K < cands[j].K
+		}
+		return cands[i].B < cands[j].B
+	})
+	return cands
+}
+
+// Selection is the result of choosing a design for an array.
+type Selection struct {
+	Design *Design
+	// Exact is true when the design has exactly the requested k = G.
+	// When false, the catalog had no feasible design at G and fell back
+	// to the closest feasible declustering ratio, per the paper §4.3.
+	Exact bool
+	// RequestedK is the G the caller asked for.
+	RequestedK int
+}
+
+// Select finds a block design for an array of c disks with parity stripe
+// size g, following the paper's procedure: prefer a known balanced
+// incomplete design with v = c, k = g and minimum b; otherwise use a
+// complete design if its table is small enough; otherwise fall back to the
+// feasible design whose declustering ratio is closest to (g−1)/(c−1).
+// maxTuples ≤ 0 uses DefaultMaxTuples.
+func Select(c, g, maxTuples int) (Selection, error) {
+	if maxTuples <= 0 {
+		maxTuples = DefaultMaxTuples
+	}
+	if c < 2 || g < 2 || g > c {
+		return Selection{}, fmt.Errorf("blockdesign: need 2 <= G <= C, have C=%d G=%d", c, g)
+	}
+	cands := catalogFor(c, maxTuples)
+	if len(cands) == 0 {
+		return Selection{}, fmt.Errorf("blockdesign: no feasible design on %d objects within %d tuples", c, maxTuples)
+	}
+
+	// Exact matches, smallest table first.
+	var exact []Candidate
+	for _, cd := range cands {
+		if cd.K == g {
+			exact = append(exact, cd)
+		}
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i].B < exact[j].B })
+	for _, cd := range exact {
+		d, err := cd.Build()
+		if err == nil {
+			return Selection{Design: d, Exact: true, RequestedK: g}, nil
+		}
+	}
+
+	// Closest feasible declustering ratio; ties prefer smaller tables.
+	want := float64(g-1) / float64(c-1)
+	sort.Slice(cands, func(i, j int) bool {
+		ai := math.Abs(float64(cands[i].K-1)/float64(c-1) - want)
+		aj := math.Abs(float64(cands[j].K-1)/float64(c-1) - want)
+		if ai != aj {
+			return ai < aj
+		}
+		return cands[i].B < cands[j].B
+	})
+	for _, cd := range cands {
+		d, err := cd.Build()
+		if err == nil {
+			return Selection{Design: d, Exact: d.K == g, RequestedK: g}, nil
+		}
+	}
+	return Selection{}, fmt.Errorf("blockdesign: all candidate constructions failed for C=%d G=%d", c, g)
+}
+
+// KnownPoint is one (v, k) coordinate the catalog can build, with the tuple
+// count of the smallest known table; the set of these reproduces the
+// paper's Figure 4-3 scatter of known designs.
+type KnownPoint struct {
+	V, K, B int
+	Source  string
+}
+
+// KnownDesigns enumerates catalog coverage for v in [2, maxV], reporting
+// the smallest-table design at each (v, k). Construction is lazy and only
+// metadata is materialized, so this stays fast for plotting.
+func KnownDesigns(maxV, maxTuples int) []KnownPoint {
+	if maxTuples <= 0 {
+		maxTuples = DefaultMaxTuples
+	}
+	var pts []KnownPoint
+	for v := 2; v <= maxV; v++ {
+		best := map[int]Candidate{}
+		for _, cd := range catalogFor(v, maxTuples) {
+			if cur, ok := best[cd.K]; !ok || cd.B < cur.B {
+				best[cd.K] = cd
+			}
+		}
+		ks := make([]int, 0, len(best))
+		for k := range best {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			cd := best[k]
+			pts = append(pts, KnownPoint{V: v, K: k, B: cd.B, Source: cd.Source})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,124 @@
+package blockdesign
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectExactPaperDesigns(t *testing.T) {
+	for _, g := range PaperG {
+		sel, err := Select(21, g, 0)
+		if err != nil {
+			t.Fatalf("Select(21,%d): %v", g, err)
+		}
+		if !sel.Exact {
+			t.Errorf("Select(21,%d) not exact: got k=%d", g, sel.Design.K)
+		}
+		p := mustParams(t, sel.Design)
+		if p.V != 21 || p.K != g {
+			t.Errorf("Select(21,%d) returned %+v", g, p)
+		}
+	}
+}
+
+func TestSelectPrefersSmallTables(t *testing.T) {
+	// For C=21, G=5 the appendix design has b=21 while the complete
+	// design has b=20349; Select must prefer the small one.
+	sel, err := Select(21, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Design.B() != 21 {
+		t.Fatalf("Select(21,5) chose b=%d, want 21", sel.Design.B())
+	}
+}
+
+func TestSelectFallsBackToComplete(t *testing.T) {
+	// C=10, G=4: no special design in the catalog, C(10,4)=210 is small.
+	sel, err := Select(10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Exact || sel.Design.B() != 210 {
+		t.Fatalf("Select(10,4) = exact:%v b=%d, want complete design with 210 tuples", sel.Exact, sel.Design.B())
+	}
+}
+
+func TestSelectClosestAlphaFallback(t *testing.T) {
+	// The paper's infeasible example: 41 disks, G=5 — the complete
+	// design has 749,398 tuples, over any reasonable limit. Select must
+	// fall back to the closest feasible α rather than fail.
+	sel, err := Select(41, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Exact {
+		t.Fatalf("Select(41,5) claims exact with tiny limit; got k=%d b=%d", sel.Design.K, sel.Design.B())
+	}
+	if sel.Design.B() > 4096 {
+		t.Fatalf("fallback design table too large: %d", sel.Design.B())
+	}
+	want := 4.0 / 40.0
+	got := sel.Design.Alpha()
+	if math.Abs(got-want) > 0.25 {
+		t.Fatalf("fallback α=%v too far from requested %v", got, want)
+	}
+}
+
+func TestSelectRaid5Case(t *testing.T) {
+	// G = C: the only design is the complete one with a single tuple
+	// (all disks), i.e. RAID 5.
+	sel, err := Select(21, 21, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Design.B() != 1 || sel.Design.K != 21 {
+		t.Fatalf("Select(21,21) = b=%d k=%d, want the single full tuple", sel.Design.B(), sel.Design.K)
+	}
+}
+
+func TestSelectRejectsBadArgs(t *testing.T) {
+	for _, c := range []struct{ C, G int }{{1, 1}, {5, 1}, {5, 6}, {0, 0}} {
+		if _, err := Select(c.C, c.G, 0); err == nil {
+			t.Errorf("Select(%d,%d) accepted", c.C, c.G)
+		}
+	}
+}
+
+func TestKnownDesignsCoverPaperPoints(t *testing.T) {
+	pts := KnownDesigns(25, DefaultMaxTuples)
+	have := map[[2]int]bool{}
+	for _, p := range pts {
+		have[[2]int{p.V, p.K}] = true
+	}
+	for _, g := range PaperG {
+		if !have[[2]int{21, g}] {
+			t.Errorf("KnownDesigns missing (21,%d)", g)
+		}
+	}
+	// STS and planes should appear too.
+	for _, w := range [][2]int{{9, 3}, {7, 3}, {13, 4}, {25, 5}} {
+		if !have[w] {
+			t.Errorf("KnownDesigns missing (%d,%d)", w[0], w[1])
+		}
+	}
+}
+
+func TestKnownDesignsAllConstructible(t *testing.T) {
+	// Every advertised point must actually build and verify.
+	for v := 2; v <= 13; v++ {
+		for _, cd := range catalogFor(v, 4096) {
+			d, err := cd.Build()
+			if err != nil {
+				t.Errorf("catalog (v=%d,k=%d): build failed: %v", cd.V, cd.K, err)
+				continue
+			}
+			if _, err := d.Params(); err != nil {
+				t.Errorf("catalog (v=%d,k=%d): invalid design: %v", cd.V, cd.K, err)
+			}
+			if d.V != cd.V || d.K != cd.K {
+				t.Errorf("catalog (v=%d,k=%d): built (v=%d,k=%d)", cd.V, cd.K, d.V, d.K)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package blockdesign
+
+import "fmt"
+
+// BoseSTS builds a Steiner triple system (k = 3, λ = 1) on v objects using
+// Bose's construction, which exists for every v ≡ 3 (mod 6). Objects are
+// pairs (i, c) of Z_n × {0,1,2} with n = v/3 odd, encoded as 3i + c.
+func BoseSTS(v int) (*Design, error) {
+	if v < 9 || v%6 != 3 {
+		return nil, fmt.Errorf("blockdesign: Bose construction needs v ≡ 3 (mod 6) and v >= 9, have %d", v)
+	}
+	n := v / 3 // odd
+	enc := func(i, c int) int { return 3*i + c }
+	inv2 := (n + 1) / 2 // multiplicative inverse of 2 mod odd n
+	d := &Design{V: v, K: 3, Source: fmt.Sprintf("Bose STS(%d)", v)}
+	for i := 0; i < n; i++ {
+		d.Tuples = append(d.Tuples, []int{enc(i, 0), enc(i, 1), enc(i, 2)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := (i + j) * inv2 % n
+			for c := 0; c < 3; c++ {
+				d.Tuples = append(d.Tuples, []int{enc(i, c), enc(j, c), enc(m, (c+1)%3)})
+			}
+		}
+	}
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("Bose STS(%d): %w", v, err)
+	}
+	return d, nil
+}
+
+// Paley builds the symmetric design whose tuples are the translates of the
+// quadratic residues modulo a prime q ≡ 3 (mod 4): parameters
+// (b, v, k, r, λ) = (q, q, (q−1)/2, (q−1)/2, (q−3)/4). Paley designs give
+// declustering ratios near 1/2, the region the paper notes is hard to
+// cover with small designs.
+func Paley(q int) (*Design, error) {
+	if !isPrime(q) || q%4 != 3 {
+		return nil, fmt.Errorf("blockdesign: Paley design needs a prime ≡ 3 (mod 4), have %d", q)
+	}
+	residues := make([]int, 0, (q-1)/2)
+	seen := make([]bool, q)
+	for x := 1; x < q; x++ {
+		r := x * x % q
+		if !seen[r] {
+			seen[r] = true
+			residues = append(residues, r)
+		}
+	}
+	return Cyclic(q, []BaseBlock{{Elements: residues}}, fmt.Sprintf("Paley(%d)", q))
+}
+
+// isPrime reports whether p is a (small) prime.
+func isPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectivePlane builds the symmetric design of points and lines of
+// PG(2, p) for prime p: v = b = p²+p+1, k = r = p+1, λ = 1.
+func ProjectivePlane(p int) (*Design, error) {
+	if !isPrime(p) {
+		return nil, fmt.Errorf("blockdesign: projective plane needs prime order, have %d", p)
+	}
+	// Normalized homogeneous point coordinates: (1,y,z), (0,1,z), (0,0,1).
+	type pt [3]int
+	var points []pt
+	for y := 0; y < p; y++ {
+		for z := 0; z < p; z++ {
+			points = append(points, pt{1, y, z})
+		}
+	}
+	for z := 0; z < p; z++ {
+		points = append(points, pt{0, 1, z})
+	}
+	points = append(points, pt{0, 0, 1})
+	index := make(map[pt]int, len(points))
+	for i, q := range points {
+		index[q] = i
+	}
+	d := &Design{V: len(points), K: p + 1, Source: fmt.Sprintf("PG(2,%d)", p)}
+	// Lines are also normalized triples [a,b,c]; incidence ax+by+cz = 0.
+	for _, l := range points { // same normalization enumerates the dual
+		var tup []int
+		for i, q := range points {
+			if (l[0]*q[0]+l[1]*q[1]+l[2]*q[2])%p == 0 {
+				tup = append(tup, i)
+			}
+		}
+		if len(tup) != p+1 {
+			return nil, fmt.Errorf("blockdesign: PG(2,%d) line with %d points", p, len(tup))
+		}
+		d.Tuples = append(d.Tuples, tup)
+	}
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("PG(2,%d): %w", p, err)
+	}
+	return d, nil
+}
+
+// AffinePlane builds the design of points and lines of AG(2, p) for prime
+// p: v = p², b = p²+p, k = p, r = p+1, λ = 1.
+func AffinePlane(p int) (*Design, error) {
+	if !isPrime(p) {
+		return nil, fmt.Errorf("blockdesign: affine plane needs prime order, have %d", p)
+	}
+	enc := func(x, y int) int { return x*p + y }
+	d := &Design{V: p * p, K: p, Source: fmt.Sprintf("AG(2,%d)", p)}
+	// Sloped lines y = m x + c.
+	for m := 0; m < p; m++ {
+		for c := 0; c < p; c++ {
+			tup := make([]int, 0, p)
+			for x := 0; x < p; x++ {
+				tup = append(tup, enc(x, (m*x+c)%p))
+			}
+			d.Tuples = append(d.Tuples, tup)
+		}
+	}
+	// Vertical lines x = c.
+	for c := 0; c < p; c++ {
+		tup := make([]int, 0, p)
+		for y := 0; y < p; y++ {
+			tup = append(tup, enc(c, y))
+		}
+		d.Tuples = append(d.Tuples, tup)
+	}
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("AG(2,%d): %w", p, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,148 @@
+package blockdesign
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoseSTS(t *testing.T) {
+	for _, v := range []int{9, 15, 21, 27, 33, 39} {
+		d, err := BoseSTS(v)
+		if err != nil {
+			t.Fatalf("BoseSTS(%d): %v", v, err)
+		}
+		p := mustParams(t, d)
+		want := Params{B: v * (v - 1) / 6, V: v, K: 3, R: (v - 1) / 2, Lambda: 1}
+		if p != want {
+			t.Fatalf("STS(%d) params %+v, want %+v", v, p, want)
+		}
+	}
+}
+
+func TestBoseSTSRejectsWrongResidue(t *testing.T) {
+	for _, v := range []int{7, 13, 12, 8, 3} {
+		if _, err := BoseSTS(v); err == nil {
+			t.Errorf("BoseSTS(%d) accepted", v)
+		}
+	}
+}
+
+func TestProjectivePlanes(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7} {
+		d, err := ProjectivePlane(p)
+		if err != nil {
+			t.Fatalf("PG(2,%d): %v", p, err)
+		}
+		pr := mustParams(t, d)
+		v := p*p + p + 1
+		want := Params{B: v, V: v, K: p + 1, R: p + 1, Lambda: 1}
+		if pr != want {
+			t.Fatalf("PG(2,%d) params %+v, want %+v", p, pr, want)
+		}
+		if !d.IsSymmetric() {
+			t.Fatalf("PG(2,%d) not symmetric", p)
+		}
+	}
+}
+
+func TestProjectivePlaneRejectsComposite(t *testing.T) {
+	for _, p := range []int{1, 4, 6, 9} {
+		if _, err := ProjectivePlane(p); err == nil {
+			t.Errorf("ProjectivePlane(%d) accepted", p)
+		}
+	}
+}
+
+func TestAffinePlanes(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7} {
+		d, err := AffinePlane(p)
+		if err != nil {
+			t.Fatalf("AG(2,%d): %v", p, err)
+		}
+		pr := mustParams(t, d)
+		want := Params{B: p*p + p, V: p * p, K: p, R: p + 1, Lambda: 1}
+		if pr != want {
+			t.Fatalf("AG(2,%d) params %+v, want %+v", p, pr, want)
+		}
+	}
+}
+
+func TestPaleyDesigns(t *testing.T) {
+	for _, q := range []int{7, 11, 19, 23, 31} {
+		d, err := Paley(q)
+		if err != nil {
+			t.Fatalf("Paley(%d): %v", q, err)
+		}
+		p := mustParams(t, d)
+		want := Params{B: q, V: q, K: (q - 1) / 2, R: (q - 1) / 2, Lambda: (q - 3) / 4}
+		if p != want {
+			t.Fatalf("Paley(%d) params %+v, want %+v", q, p, want)
+		}
+		if !d.IsSymmetric() {
+			t.Fatalf("Paley(%d) not symmetric", q)
+		}
+	}
+}
+
+func TestPaleyRejects(t *testing.T) {
+	for _, q := range []int{5, 13, 9, 4, 2} { // not ≡ 3 mod 4, or composite
+		if _, err := Paley(q); err == nil {
+			t.Errorf("Paley(%d) accepted", q)
+		}
+	}
+}
+
+func TestPaleyInCatalog(t *testing.T) {
+	// A 23-disk array with G=11 should get the Paley biplane-series
+	// design with b=23, not the complete design with b=1,352,078.
+	sel, err := Select(23, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Exact || sel.Design.B() != 23 {
+		t.Fatalf("Select(23,11) chose b=%d exact=%v, want Paley b=23", sel.Design.B(), sel.Exact)
+	}
+	// And the complement covers G=12.
+	sel2, err := Select(23, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel2.Exact || sel2.Design.B() != 23 {
+		t.Fatalf("Select(23,12) chose b=%d exact=%v, want Paley complement b=23", sel2.Design.B(), sel2.Exact)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true}
+	for n := -3; n <= 14; n++ {
+		if got := isPrime(n); got != primes[n] {
+			t.Errorf("isPrime(%d) = %v", n, got)
+		}
+	}
+}
+
+// TestPropertyGeneratedDesignsBalanced drives the generators over many
+// parameters and checks the invariants the layout layer depends on: the two
+// counting identities and positive λ.
+func TestPropertyGeneratedDesignsBalanced(t *testing.T) {
+	f := func(raw uint8) bool {
+		v := 4 + int(raw%20)
+		for k := 2; k <= v && k <= 6; k++ {
+			d, err := Complete(v, k, 1<<18)
+			if err != nil {
+				continue
+			}
+			p, err := d.Params()
+			if err != nil {
+				return false
+			}
+			if p.B*p.K != p.V*p.R || p.R*(p.K-1) != p.Lambda*(p.V-1) || p.Lambda < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package blockdesign
+
+import "fmt"
+
+// The six designs of the paper's appendix, all on v = 21 objects (the
+// 21-disk array of Table 5-1), written in Hall's abbreviated notation.
+
+// PaperG lists the parity stripe sizes of the appendix designs, in the
+// order the paper presents them (α from 0.1 to 0.85).
+var PaperG = []int{3, 4, 5, 6, 10, 18}
+
+// PaperDesign returns the appendix block design for a 21-disk array with
+// parity stripe size g ∈ {3, 4, 5, 6, 10, 18}. The returned design is
+// freshly constructed and verified.
+func PaperDesign(g int) (*Design, error) {
+	switch g {
+	case 3:
+		// b=70, v=21, k=3, r=10, λ=1, α=0.1.
+		// The available scan of the appendix garbles two base blocks
+		// (as printed they cover differences 2, 3, 18, 19 twice and miss
+		// 5, 8, 9, 12, 13, so Verify rejects them); this is the standard
+		// cyclic STS(21) difference family with the same parameters and
+		// the same short orbit [0,7,14] of period 7.
+		return Cyclic(21, []BaseBlock{
+			{Elements: []int{0, 1, 3}},
+			{Elements: []int{0, 4, 12}},
+			{Elements: []int{0, 5, 11}},
+			{Elements: []int{0, 7, 14}, Period: 7},
+		}, "paper appendix design 1")
+	case 4:
+		// b=105, v=21, k=4, r=20, λ=3, α=0.15
+		return Cyclic(21, []BaseBlock{
+			{Elements: []int{0, 2, 3, 7}},
+			{Elements: []int{0, 3, 5, 9}},
+			{Elements: []int{0, 1, 7, 11}},
+			{Elements: []int{0, 2, 8, 11}},
+			{Elements: []int{0, 1, 9, 14}},
+		}, "paper appendix design 2")
+	case 5:
+		// b=21, v=21, k=5, r=5, λ=1, α=0.2 (symmetric; PG(2,4))
+		return Cyclic(21, []BaseBlock{
+			{Elements: []int{3, 6, 7, 12, 14}},
+		}, "paper appendix design 3")
+	case 6:
+		// b=42, v=21, k=6, r=12, λ=3, α=0.25
+		return Cyclic(21, []BaseBlock{
+			{Elements: []int{0, 2, 10, 15, 19, 20}},
+			{Elements: []int{0, 3, 7, 9, 10, 16}},
+		}, "paper appendix design 4")
+	case 10:
+		// b=42, v=21, k=10, r=20, λ=9, α=0.45: derived design of the
+		// symmetric (43, 21, 10) cyclic design.
+		sym, err := Cyclic(43, []BaseBlock{
+			{Elements: []int{0, 3, 5, 8, 9, 10, 12, 13, 14, 15, 16, 20, 22, 23, 24, 30, 34, 35, 37, 39, 40}},
+		}, "symmetric (43,21,10) difference set")
+		if err != nil {
+			return nil, err
+		}
+		d, err := Derived(sym, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.Source = "paper appendix design 5 (derived)"
+		return d, nil
+	case 18:
+		// b=1330, v=21, k=18, r=1140, λ=969, α=0.85: complete design.
+		d, err := Complete(21, 18, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.Source = "paper appendix design 6 (complete)"
+		return d, nil
+	default:
+		return nil, fmt.Errorf("blockdesign: no paper appendix design for G=%d (have G ∈ %v)", g, PaperG)
+	}
+}

@@ -1,0 +1,154 @@
+package blockdesign
+
+import "fmt"
+
+// FindDifferenceFamily searches for a cyclic (v, k, λ) difference family:
+// a set of base blocks whose pairwise differences cover every nonzero
+// residue modulo v exactly λ times. Developing the blocks modulo v then
+// yields a BIBD with b = λ·v·(v−1)/(k·(k−1)) tuples — a direct answer to
+// the paper's §9 wish for "a wider range of parameters" than Hall's
+// printed tables.
+//
+// The search backtracks over canonical base blocks (each starting at 0,
+// elements strictly increasing) with difference-coverage pruning. maxNodes
+// bounds the explored nodes (0 = a default budget); the search is exact
+// within the budget — a nil result with a nil error means the budget ran
+// out or no full-orbit family exists.
+func FindDifferenceFamily(v, k, lambda, maxNodes int) (*Design, error) {
+	if v < 3 || k < 2 || k > v || lambda < 1 {
+		return nil, fmt.Errorf("blockdesign: invalid difference family parameters v=%d k=%d λ=%d", v, k, lambda)
+	}
+	// Each full-orbit base block of size k contributes k(k−1) ordered
+	// differences; covering all v−1 nonzero residues λ times needs
+	// λ(v−1) differences, so the block count must divide evenly.
+	need := lambda * (v - 1)
+	per := k * (k - 1)
+	if need%per != 0 {
+		return nil, fmt.Errorf("blockdesign: no full-orbit (v=%d,k=%d,λ=%d) family: λ(v−1)=%d not divisible by k(k−1)=%d",
+			v, k, lambda, need, per)
+	}
+	nblocks := need / per
+	if maxNodes <= 0 {
+		maxNodes = 2_000_000
+	}
+
+	// count[d] tracks how many times difference d is covered so far.
+	count := make([]int, v)
+	blocks := make([][]int, 0, nblocks)
+	cur := make([]int, 1, k)
+	nodes := 0
+
+	// addDiffs applies (or reverts) the differences of elem against the
+	// current block prefix. It returns false (without applying) if any
+	// difference would exceed λ.
+	addDiffs := func(elem int, revert bool) bool {
+		if revert {
+			for _, e := range cur {
+				if e == elem {
+					continue
+				}
+				d1 := (elem - e + v) % v
+				d2 := (e - elem + v) % v
+				count[d1]--
+				count[d2]--
+			}
+			return true
+		}
+		for _, e := range cur {
+			d1 := (elem - e + v) % v
+			d2 := (e - elem + v) % v
+			if count[d1]+1 > lambda || (d1 != d2 && count[d2]+1 > lambda) {
+				// roll back what we applied so far
+				for _, e2 := range cur {
+					if e2 == e {
+						break
+					}
+					r1 := (elem - e2 + v) % v
+					r2 := (e2 - elem + v) % v
+					count[r1]--
+					count[r2]--
+				}
+				return false
+			}
+			count[d1]++
+			if d1 != d2 {
+				count[d2]++
+			} else {
+				// v even and elem-e = v/2: the two directions are the
+				// same residue; it is covered twice by the pair.
+				count[d1]++
+				if count[d1] > lambda {
+					count[d1] -= 2
+					for _, e2 := range cur {
+						if e2 == e {
+							break
+						}
+						r1 := (elem - e2 + v) % v
+						r2 := (e2 - elem + v) % v
+						count[r1]--
+						count[r2]--
+					}
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	var solve func() bool
+	solve = func() bool {
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		if len(cur) == k {
+			blocks = append(blocks, append([]int(nil), cur...))
+			if len(blocks) == nblocks {
+				// All differences must now be exactly λ.
+				for d := 1; d < v; d++ {
+					if count[d] != lambda {
+						blocks = blocks[:len(blocks)-1]
+						return false
+					}
+				}
+				return true
+			}
+			cur = cur[:1] // next block also starts at 0
+			if solve() {
+				return true
+			}
+			cur = blocks[len(blocks)-1][:k]
+			blocks = blocks[:len(blocks)-1]
+			return false
+		}
+		// Lexicographic canonical form: elements strictly increasing;
+		// additionally order blocks by their second element to prune
+		// permuted duplicates.
+		lo := cur[len(cur)-1] + 1
+		if len(cur) == 1 && len(blocks) > 0 {
+			lo = blocks[len(blocks)-1][1] // non-decreasing second elements
+		}
+		for e := lo; e < v; e++ {
+			if !addDiffs(e, false) {
+				continue
+			}
+			cur = append(cur, e)
+			if solve() {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+			addDiffs(e, true)
+		}
+		return false
+	}
+
+	cur[0] = 0
+	if !solve() {
+		return nil, nil
+	}
+	bbs := make([]BaseBlock, len(blocks))
+	for i, b := range blocks {
+		bbs[i] = BaseBlock{Elements: b}
+	}
+	return Cyclic(v, bbs, fmt.Sprintf("searched (%d,%d,%d) difference family", v, k, lambda))
+}

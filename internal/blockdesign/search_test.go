@@ -1,0 +1,80 @@
+package blockdesign
+
+import "testing"
+
+func TestFindDifferenceFamilyKnownPoints(t *testing.T) {
+	// Classic cyclic families the search must rediscover.
+	cases := []struct {
+		v, k, lambda int
+		wantB        int
+	}{
+		{7, 3, 1, 7},   // Fano plane
+		{13, 3, 1, 26}, // STS(13)
+		{13, 4, 1, 13}, // PG(2,3) as a difference set
+		{11, 5, 2, 11}, // biplane / Paley
+		{15, 3, 1, 35}, // λ(v−1)=14 not divisible by k(k−1)=6: expect error
+		{19, 3, 1, 57}, // STS(19)
+		{21, 5, 1, 21}, // the paper's appendix design 3
+		{9, 4, 3, 18},  // λ=3 family on 9 points
+	}
+	for _, c := range cases {
+		d, err := FindDifferenceFamily(c.v, c.k, c.lambda, 0)
+		if c.v == 15 {
+			if err == nil {
+				t.Errorf("(15,3,1): divisibility violation accepted")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("(%d,%d,%d): %v", c.v, c.k, c.lambda, err)
+			continue
+		}
+		if d == nil {
+			t.Errorf("(%d,%d,%d): no family found within budget", c.v, c.k, c.lambda)
+			continue
+		}
+		p, err := d.Params()
+		if err != nil {
+			t.Errorf("(%d,%d,%d): found design invalid: %v", c.v, c.k, c.lambda, err)
+			continue
+		}
+		want := Params{B: c.wantB, V: c.v, K: c.k,
+			R: c.wantB * c.k / c.v, Lambda: c.lambda}
+		if p != want {
+			t.Errorf("(%d,%d,%d): params %+v, want %+v", c.v, c.k, c.lambda, p, want)
+		}
+	}
+}
+
+func TestFindDifferenceFamilyRejectsBadArgs(t *testing.T) {
+	for _, c := range []struct{ v, k, l int }{{2, 2, 1}, {7, 8, 1}, {7, 3, 0}} {
+		if _, err := FindDifferenceFamily(c.v, c.k, c.l, 0); err == nil {
+			t.Errorf("(%d,%d,%d) accepted", c.v, c.k, c.l)
+		}
+	}
+}
+
+func TestFindDifferenceFamilyBudgetExhaustion(t *testing.T) {
+	// A feasible instance with an absurdly small budget returns nil, nil.
+	d, err := FindDifferenceFamily(19, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatal("found a family in 5 nodes?")
+	}
+}
+
+func TestFindDifferenceFamilyNonexistent(t *testing.T) {
+	// (v,k,λ) = (16,6,2): λ(v−1)=30 = k(k−1)=30, one base block — a
+	// perfect difference set mod 16 would be a (16,6,2) biplane;
+	// cyclic ones do not exist, so the exhaustive search must say no.
+	d, err := FindDifferenceFamily(16, 6, 2, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		p, _ := d.Params()
+		t.Fatalf("search produced a cyclic (16,6,2) design: %+v", p)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+func lifecycleCfg() LifecycleConfig {
+	sim := smallCfg(5)
+	sim.ReconProcs = 8
+	return LifecycleConfig{
+		Sim:                sim,
+		MTTFHours:          0.05, // ~180 s per disk: many failures per run
+		ReplacementDelayMS: 2_000,
+		DurationMS:         600_000, // 10 simulated minutes
+		FailureSeed:        3,
+	}
+}
+
+func TestLifecycleRunsThroughFailures(t *testing.T) {
+	rep, err := RunLifecycle(lifecycleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures < 2 {
+		t.Fatalf("only %d failures in an accelerated 10-minute run", rep.Failures)
+	}
+	if rep.Requests < 1000 {
+		t.Fatalf("only %d requests", rep.Requests)
+	}
+	total := rep.FaultFreeMS + rep.DegradedMS + rep.ReconstructingMS
+	if total < 599_000 || total > 601_000 {
+		t.Fatalf("state time accounting off: %v ms total", total)
+	}
+	if rep.Availability <= 0 || rep.Availability >= 1 {
+		t.Fatalf("availability %v out of (0,1)", rep.Availability)
+	}
+	if rep.ReconstructingMS == 0 {
+		t.Fatal("no reconstruction time accrued")
+	}
+}
+
+func TestLifecycleResponseOrdering(t *testing.T) {
+	rep, err := RunLifecycle(lifecycleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests arriving during reconstruction see contention from the
+	// sweep; fault-free requests see none.
+	if rep.ReconResponseMS <= rep.FaultFreeResponseMS {
+		t.Fatalf("recon response %.1f ms !> fault-free %.1f ms",
+			rep.ReconResponseMS, rep.FaultFreeResponseMS)
+	}
+}
+
+func TestLifecycleHotSpare(t *testing.T) {
+	cfg := lifecycleCfg()
+	cfg.ReplacementDelayMS = 0
+	rep, err := RunLifecycle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With hot spares the degraded (awaiting-replacement) state is
+	// never dwelled in.
+	if rep.DegradedMS != 0 {
+		t.Fatalf("hot-spare run accrued %v ms degraded time", rep.DegradedMS)
+	}
+}
+
+func TestLifecycleSlowRepairLowersAvailability(t *testing.T) {
+	fast := lifecycleCfg()
+	fast.ReplacementDelayMS = 0
+
+	slow := lifecycleCfg()
+	slow.ReplacementDelayMS = 60_000
+	slow.Sim.ReconProcs = 1
+	slow.Sim.ReconThrottleCyclesPerSec = 20
+
+	fr, err := RunLifecycle(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunLifecycle(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Availability >= fr.Availability {
+		t.Fatalf("slow repair availability %.3f !< fast %.3f", sr.Availability, fr.Availability)
+	}
+}
+
+func TestLifecycleValidation(t *testing.T) {
+	cfg := lifecycleCfg()
+	cfg.MTTFHours = 0
+	if _, err := RunLifecycle(cfg); err == nil {
+		t.Fatal("zero MTTF accepted")
+	}
+	cfg = lifecycleCfg()
+	cfg.DurationMS = 0
+	if _, err := RunLifecycle(cfg); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	cfg = lifecycleCfg()
+	cfg.ReplacementDelayMS = -1
+	if _, err := RunLifecycle(cfg); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestLifecycleDeterministic(t *testing.T) {
+	a, err := RunLifecycle(lifecycleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLifecycle(lifecycleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seeds, different reports:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"declust/internal/array"
+	"declust/internal/disk"
+	"declust/internal/layout"
+	"declust/internal/sim"
+	"declust/internal/stats"
+	"declust/internal/trace"
+	"declust/internal/workload"
+)
+
+// SimConfig describes one simulation run. The zero values of optional
+// fields select the paper's configuration (IBM 0661 disks, 4 KB units,
+// CVSCAN bias 0.2, one reconstruction process).
+type SimConfig struct {
+	C, G int
+
+	// Geom is the drive model; zero selects the full IBM 0661. Scale
+	// (numerator/denominator, e.g. 1/10) shrinks the cylinder count to
+	// shorten reconstruction sweeps; response-time behaviour per access
+	// is unchanged and reconstruction time scales linearly.
+	Geom               disk.Geometry
+	ScaleNum, ScaleDen int
+	UnitSectors        int     // stripe unit size in sectors; 0 = 8 (4 KB)
+	CvscanBias         float64 // V(R) bias; 0 = 0.2
+	MaxTuples          int     // block design table cap; 0 = default
+
+	RatePerSec   float64 // user accesses per second
+	ReadFraction float64 // fraction of user accesses that are reads
+	AccessUnits  int     // access size in stripe units; 0 = 1 (4 KB)
+	// HotDataFraction/HotAccessFraction skew the address distribution
+	// (e.g. 0.2/0.8); zero means uniform as in the paper.
+	HotDataFraction   float64
+	HotAccessFraction float64
+	Seed              int64
+
+	// ParallelDataMap replaces the paper's stripe-index data mapping
+	// with the round-robin mapping that satisfies maximal parallelism
+	// (§4.2's future-work alternative).
+	ParallelDataMap bool
+
+	// DistributedSparing reserves a spare unit per parity stripe
+	// (layout over a G+1 design) and reconstructs into spares on the
+	// survivors instead of onto a replacement disk.
+	DistributedSparing bool
+
+	Algorithm  array.ReconAlgorithm
+	ReconProcs int // 0 = 1
+
+	// Extensions (paper §9 future work).
+	ReconLowPriority          bool
+	ReconThrottleCyclesPerSec float64
+
+	// WarmupMS settles queues before measurement begins; MeasureMS is
+	// the measurement window for fault-free and degraded runs.
+	WarmupMS  float64
+	MeasureMS float64
+
+	// Source overrides the synthetic workload with a custom access
+	// stream (e.g. a trace.Replayer). RatePerSec etc. are ignored when
+	// set.
+	Source workload.Source
+	// CaptureTrace, when non-nil, records every measured user access
+	// (arrival, completion, op) into the log for later replay.
+	CaptureTrace *trace.Log
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Geom.Cylinders == 0 {
+		c.Geom = disk.IBM0661()
+	}
+	if c.ScaleNum > 0 && c.ScaleDen > 0 {
+		c.Geom = c.Geom.Scaled(c.ScaleNum, c.ScaleDen)
+	}
+	if c.UnitSectors == 0 {
+		c.UnitSectors = 8
+	}
+	if c.CvscanBias == 0 {
+		c.CvscanBias = 0.2
+	}
+	if c.ReconProcs == 0 {
+		c.ReconProcs = 1
+	}
+	if c.WarmupMS == 0 {
+		c.WarmupMS = 10_000
+	}
+	if c.MeasureMS == 0 {
+		c.MeasureMS = 60_000
+	}
+	return c
+}
+
+// Metrics reports one run's results. Response-time fields are in
+// milliseconds over user accesses arriving inside the measurement window.
+type Metrics struct {
+	MeanResponseMS float64
+	StdResponseMS  float64
+	P90ResponseMS  float64
+	Requests       int
+
+	// Reconstruction-specific (zero for fault-free/degraded runs).
+	ReconTimeMS      float64
+	ReconCycles      int64
+	ReadPhaseMeanMS  float64
+	ReadPhaseStdMS   float64
+	WritePhaseMeanMS float64
+	WritePhaseStdMS  float64
+
+	// Alpha is the achieved declustering ratio of the layout used.
+	Alpha float64
+}
+
+// runner wires an array to a workload generator and collects response
+// times for requests arriving within [from, to) (to <= 0 means no upper
+// bound yet).
+type runner struct {
+	eng     *sim.Engine
+	arr     *array.Array
+	gen     workload.Source
+	resp    stats.Sample
+	capture *trace.Log
+	// classify, when set, receives every measured (start, end) pair;
+	// the lifecycle runner uses it to split responses by array state.
+	classify func(start, end float64)
+	from     float64
+	to       float64
+	stopped  bool
+}
+
+func newRunner(cfg SimConfig) (*runner, error) {
+	var m *Mapping
+	var err error
+	if cfg.DistributedSparing {
+		m, err = NewSparedMapping(cfg.C, cfg.G, cfg.MaxTuples)
+	} else {
+		m, err = NewMapping(cfg.C, cfg.G, cfg.MaxTuples)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	var mapper layout.DataMapper
+	if cfg.ParallelDataMap {
+		mapper = layout.NewParallelMapper(m.Layout)
+	}
+	arr, err := array.New(eng, array.Config{
+		Layout:                    m.Layout,
+		Geom:                      cfg.Geom,
+		UnitSectors:               cfg.UnitSectors,
+		CvscanBias:                cfg.CvscanBias,
+		Algorithm:                 cfg.Algorithm,
+		ReconProcs:                cfg.ReconProcs,
+		SmallWriteOpt:             true,
+		ReconLowPriority:          cfg.ReconLowPriority,
+		ReconThrottleCyclesPerSec: cfg.ReconThrottleCyclesPerSec,
+		DataMapper:                mapper,
+		DistributedSparing:        cfg.DistributedSparing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var src workload.Source = cfg.Source
+	if src == nil {
+		src, err = workload.New(workload.Config{
+			RatePerSec:        cfg.RatePerSec,
+			ReadFraction:      cfg.ReadFraction,
+			DataUnits:         arr.DataUnits(),
+			AccessUnits:       cfg.AccessUnits,
+			HotDataFraction:   cfg.HotDataFraction,
+			HotAccessFraction: cfg.HotAccessFraction,
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &runner{eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1}, nil
+}
+
+// pump issues the next arrival and reschedules itself until stopped.
+func (r *runner) pump() {
+	if r.stopped {
+		return
+	}
+	delay, op := r.gen.Next()
+	r.eng.Schedule(delay, func() {
+		if r.stopped {
+			return
+		}
+		start := r.eng.Now()
+		record := func() {
+			if start >= r.from && (r.to < 0 || start < r.to) {
+				r.resp.Add(r.eng.Now() - start)
+				if r.capture != nil {
+					r.capture.Add(trace.Record{ArriveMS: start, DoneMS: r.eng.Now(), Op: op})
+				}
+				if r.classify != nil {
+					r.classify(start, r.eng.Now())
+				}
+			}
+		}
+		switch {
+		case op.Read && op.Count == 1:
+			r.arr.Read(op.Unit, func(uint64) { record() })
+		case op.Read:
+			r.arr.ReadRange(op.Unit, op.Count, record)
+		case op.Count == 1:
+			r.arr.Write(op.Unit, record)
+		default:
+			r.arr.WriteRange(op.Unit, op.Count, record)
+		}
+		r.pump()
+	})
+}
+
+func (r *runner) metrics() Metrics {
+	return Metrics{
+		MeanResponseMS: r.resp.Mean(),
+		StdResponseMS:  r.resp.Std(),
+		P90ResponseMS:  r.resp.Percentile(90),
+		Requests:       r.resp.N(),
+		Alpha:          r.arr.Layout().Alpha(),
+	}
+}
+
+// RunFaultFree measures steady-state user response time with no failure
+// (paper §6).
+func RunFaultFree(cfg SimConfig) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return r.timedWindow(cfg)
+}
+
+// RunDegraded measures steady-state user response time with one disk
+// failed and no replacement installed (paper §7). The failed disk is 0;
+// layouts balance load so the choice is immaterial.
+func RunDegraded(cfg SimConfig) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if err := r.arr.Fail(0); err != nil {
+		return Metrics{}, err
+	}
+	return r.timedWindow(cfg)
+}
+
+func (r *runner) timedWindow(cfg SimConfig) (Metrics, error) {
+	r.from = cfg.WarmupMS
+	r.to = cfg.WarmupMS + cfg.MeasureMS
+	r.pump()
+	r.eng.RunUntil(r.to)
+	r.stopped = true
+	r.eng.Run() // drain in-flight operations so their responses count
+	if err := r.arr.CheckConsistency(); err != nil {
+		return Metrics{}, fmt.Errorf("core: post-run consistency check: %w", err)
+	}
+	return r.metrics(), nil
+}
+
+// RunReconstruction fails disk 0, installs a replacement, reconstructs it
+// under user load, and reports both reconstruction time and the response
+// time of user accesses arriving during reconstruction (paper §8). The
+// warmup runs in degraded mode so queues reflect the failed state when the
+// sweep begins.
+func RunReconstruction(cfg SimConfig) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if err := r.arr.Fail(0); err != nil {
+		return Metrics{}, err
+	}
+	if !cfg.DistributedSparing {
+		if err := r.arr.Replace(); err != nil {
+			return Metrics{}, err
+		}
+	}
+	r.from = cfg.WarmupMS
+	r.pump()
+	r.eng.RunUntil(cfg.WarmupMS)
+
+	err = r.arr.Reconstruct(func() {
+		r.to = r.eng.Now()
+		r.stopped = true
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	r.eng.Run()
+	if r.arr.Degraded() && !r.arr.Spared() {
+		return Metrics{}, fmt.Errorf("core: reconstruction did not complete")
+	}
+	if err := r.arr.CheckConsistency(); err != nil {
+		return Metrics{}, fmt.Errorf("core: post-reconstruction consistency check: %w", err)
+	}
+	m := r.metrics()
+	m.ReconTimeMS = r.arr.ReconTimeMS()
+	m.ReconCycles = r.arr.ReconCycles()
+	m.ReadPhaseMeanMS = r.arr.ReadPhase().Mean()
+	m.ReadPhaseStdMS = r.arr.ReadPhase().Std()
+	m.WritePhaseMeanMS = r.arr.WritePhase().Mean()
+	m.WritePhaseStdMS = r.arr.WritePhase().Std()
+	return m, nil
+}
+
+// ReconCyclePhases reruns a reconstruction like RunReconstruction but
+// reports the mean and deviation of the read and write phases over only
+// the last `tail` cycles, as the paper's Table 8-1 does (tail = 300).
+func ReconCyclePhases(cfg SimConfig, tail int) (readMean, readStd, writeMean, writeStd float64, err error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := r.arr.Fail(0); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if !cfg.DistributedSparing {
+		if err := r.arr.Replace(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	r.from = cfg.WarmupMS
+	r.pump()
+	r.eng.RunUntil(cfg.WarmupMS)
+	if err := r.arr.Reconstruct(func() { r.stopped = true }); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	r.eng.Run()
+	rw := r.arr.ReadPhase().Tail(tail)
+	ww := r.arr.WritePhase().Tail(tail)
+	return rw.Mean(), rw.Std(), ww.Mean(), ww.Std(), nil
+}

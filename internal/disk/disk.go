@@ -1,0 +1,230 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"declust/internal/sim"
+)
+
+// Request is one contiguous disk transfer.
+type Request struct {
+	Start int64 // first logical block address
+	Count int   // number of sectors, > 0
+	Write bool  // direction; timing is symmetric, kept for accounting
+
+	// Priority orders service classes: the scheduler only considers
+	// requests of the highest priority present in the queue. Within a
+	// class, CVSCAN chooses. Zero is the default class.
+	Priority int
+
+	// OnDone fires when the transfer completes, with the simulated times
+	// at which service started and finished.
+	OnDone func(start, finish float64)
+
+	queuedAt float64
+	seq      uint64
+}
+
+// Stats accumulates per-disk counters.
+type Stats struct {
+	Completed    int64   // requests finished
+	SectorsMoved int64   // total sectors transferred
+	BusyMS       float64 // total time the arm was servicing requests
+	SeekMS       float64 // portion of BusyMS spent seeking
+	RotateMS     float64 // portion spent waiting for rotation
+	TransferMS   float64 // portion spent transferring
+	QueueMS      float64 // total time requests waited in queue
+	MaxQueueLen  int
+}
+
+// Disk is a single simulated drive attached to an event engine. It services
+// one request at a time; pending requests wait in a scheduler queue.
+type Disk struct {
+	eng   *sim.Engine
+	geom  Geometry
+	seek  SeekCurve
+	sched *cvscan
+
+	busy     bool
+	headCyl  int
+	seq      uint64
+	stats    Stats
+	observer func(Event)
+}
+
+// New creates a disk with CVSCAN (V(R)) scheduling, bias ratio r in [0,1]:
+// r = 0 degenerates to SSTF, r = 1 to SCAN. The paper uses CVSCAN [Geist87];
+// we default experiments to r = 0.2.
+func New(eng *sim.Engine, geom Geometry, r float64) *Disk {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	if r < 0 || r > 1 {
+		panic(fmt.Sprintf("disk: CVSCAN bias %v out of [0,1]", r))
+	}
+	return &Disk{
+		eng:   eng,
+		geom:  geom,
+		seek:  NewSeekCurve(geom),
+		sched: newCvscan(r, geom.Cylinders),
+	}
+}
+
+// Geometry returns the drive geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Stats returns a copy of the accumulated counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of requests waiting (not counting one in
+// service).
+func (d *Disk) QueueLen() int { return d.sched.len() }
+
+// Busy reports whether a request is currently in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// HeadCylinder returns the arm's current seek position.
+func (d *Disk) HeadCylinder() int { return d.headCyl }
+
+// Submit queues a transfer. The request fires OnDone when it completes.
+func (d *Disk) Submit(r *Request) {
+	if r.Count <= 0 {
+		panic(fmt.Sprintf("disk: request with count %d", r.Count))
+	}
+	if r.Start < 0 || r.Start+int64(r.Count) > d.geom.TotalSectors() {
+		panic(fmt.Sprintf("disk: request [%d,%d) outside disk of %d sectors",
+			r.Start, r.Start+int64(r.Count), d.geom.TotalSectors()))
+	}
+	r.queuedAt = d.eng.Now()
+	r.seq = d.seq
+	d.seq++
+	d.sched.push(r, d.geom)
+	if n := d.sched.len(); n > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = n
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+func (d *Disk) startNext() {
+	r := d.sched.pop(d.headCyl)
+	if r == nil {
+		return
+	}
+	d.busy = true
+	start := d.eng.Now()
+	d.stats.QueueMS += start - r.queuedAt
+
+	startCyl := d.headCyl
+	finish, endCyl, br := d.serviceTime(start, r.Start, r.Count)
+	d.stats.SeekMS += br.seek
+	d.stats.RotateMS += br.rotate
+	d.stats.TransferMS += br.transfer
+	d.stats.BusyMS += finish - start
+	d.headCyl = endCyl
+
+	d.eng.At(finish, func() {
+		d.busy = false
+		d.stats.Completed++
+		d.stats.SectorsMoved += int64(r.Count)
+		if d.observer != nil {
+			tgt := d.geom.Locate(r.Start)
+			dist := tgt.Cyl - startCyl
+			if dist < 0 {
+				dist = -dist
+			}
+			d.observer(Event{
+				QueuedAt: r.queuedAt, Start: start, Finish: finish,
+				Cyl: tgt.Cyl, SeekDist: dist,
+				Sectors: r.Count, Write: r.Write, Priority: r.Priority,
+			})
+		}
+		// Start the next transfer before delivering the completion, so
+		// the arm never idles waiting on upper-layer work.
+		d.startNext()
+		if r.OnDone != nil {
+			r.OnDone(start, finish)
+		}
+	})
+}
+
+type serviceBreakdown struct {
+	seek, rotate, transfer float64
+}
+
+// serviceTime computes the completion time of a transfer beginning service
+// at time now, along with the final head cylinder. The transfer is split
+// into per-track runs; each run pays any needed head/cylinder switch, then
+// a rotational delay to the run's first sector, then reads contiguously.
+func (d *Disk) serviceTime(now float64, start int64, count int) (finish float64, endCyl int, br serviceBreakdown) {
+	g := d.geom
+	t := now
+	curCyl := d.headCyl
+	first := true
+
+	lba := start
+	remaining := count
+	for remaining > 0 {
+		chs := g.Locate(lba)
+		// Length of the run on this track.
+		run := g.SectorsPerTrack - chs.Sector
+		if run > remaining {
+			run = remaining
+		}
+		// Arm movement to the run's cylinder.
+		if chs.Cyl != curCyl || first {
+			st := d.seek.Time(chs.Cyl - curCyl)
+			t += st
+			br.seek += st
+			curCyl = chs.Cyl
+		}
+		first = false
+		// Rotational delay to the run's first physical sector.
+		globalTrack := int64(chs.Cyl)*int64(g.TracksPerCyl) + int64(chs.Track)
+		phys := g.PhysicalSector(globalTrack, chs.Sector)
+		rot := d.rotationalDelay(t, phys)
+		t += rot
+		br.rotate += rot
+		// Contiguous transfer of the run.
+		xfer := float64(run) / float64(g.SectorsPerTrack) * g.RevolutionMS
+		t += xfer
+		br.transfer += xfer
+
+		lba += int64(run)
+		remaining -= run
+	}
+	return t, curCyl, br
+}
+
+// rotationalDelay returns the time until physical sector slot `phys` next
+// arrives under the head, given the platter's continuous rotation.
+func (d *Disk) rotationalDelay(t float64, phys int) float64 {
+	g := d.geom
+	spt := float64(g.SectorsPerTrack)
+	// Angular position in sector slots at time t.
+	pos := math.Mod(t, g.RevolutionMS) / g.RevolutionMS * spt
+	target := float64(phys)
+	delta := target - pos
+	if delta < 0 {
+		delta += spt
+	}
+	// Guard against floating-point jitter: when the head lands exactly on
+	// the target sector, rounding can make delta a hair below a full
+	// revolution, charging a spurious rotation slip.
+	if spt-delta < 1e-6 {
+		delta = 0
+	}
+	return delta / spt * g.RevolutionMS
+}
+
+// AvgRandomAccessMS returns the model's expected service time for one
+// random transfer of `sectors` sectors: average seek + half rotation +
+// transfer. For the IBM 0661 and 8-sector (4 KB) transfers this is about
+// 21.8 ms, i.e. ~46 accesses/second, matching the paper.
+func (d *Disk) AvgRandomAccessMS(sectors int) float64 {
+	g := d.geom
+	return g.AvgSeekMS + g.RevolutionMS/2 +
+		float64(sectors)/float64(g.SectorsPerTrack)*g.RevolutionMS
+}

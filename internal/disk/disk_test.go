@@ -1,0 +1,287 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"declust/internal/sim"
+)
+
+func newTestDisk(t *testing.T) (*sim.Engine, *Disk) {
+	t.Helper()
+	eng := sim.New()
+	return eng, New(eng, IBM0661(), 0.2)
+}
+
+func TestSingleAccessCompletes(t *testing.T) {
+	eng, d := newTestDisk(t)
+	var start, finish float64
+	d.Submit(&Request{Start: 1000, Count: 8, OnDone: func(s, f float64) { start, finish = s, f }})
+	eng.Run()
+	if finish <= start {
+		t.Fatalf("finish %v <= start %v", finish, start)
+	}
+	if d.Stats().Completed != 1 {
+		t.Fatalf("completed = %d", d.Stats().Completed)
+	}
+	// One random 4 KB access from cylinder 0: bounded by max seek + full
+	// rotation + transfer.
+	g := d.Geometry()
+	maxT := g.MaxSeekMS + g.RevolutionMS + 8.0/48.0*g.RevolutionMS + 1
+	if finish-start > maxT {
+		t.Fatalf("service time %v exceeds bound %v", finish-start, maxT)
+	}
+}
+
+func TestServiceBreakdownAccounting(t *testing.T) {
+	eng, d := newTestDisk(t)
+	for i := 0; i < 50; i++ {
+		d.Submit(&Request{Start: int64(i) * 7919 % d.Geometry().TotalSectors(), Count: 8})
+	}
+	eng.Run()
+	st := d.Stats()
+	sum := st.SeekMS + st.RotateMS + st.TransferMS
+	if math.Abs(sum-st.BusyMS) > 1e-6 {
+		t.Fatalf("breakdown %v != busy %v", sum, st.BusyMS)
+	}
+}
+
+func TestZeroCountPanics(t *testing.T) {
+	_, d := newTestDisk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero-count request")
+		}
+	}()
+	d.Submit(&Request{Start: 0, Count: 0})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, d := newTestDisk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range request")
+		}
+	}()
+	d.Submit(&Request{Start: d.Geometry().TotalSectors() - 4, Count: 8})
+}
+
+func TestAllQueuedRequestsComplete(t *testing.T) {
+	eng, d := newTestDisk(t)
+	rng := rand.New(rand.NewSource(7))
+	const n = 500
+	done := 0
+	for i := 0; i < n; i++ {
+		d.Submit(&Request{
+			Start:  rng.Int63n(d.Geometry().TotalSectors()-8) / 8 * 8,
+			Count:  8,
+			OnDone: func(_, _ float64) { done++ },
+		})
+	}
+	eng.Run()
+	if done != n {
+		t.Fatalf("completed %d of %d (starvation?)", done, n)
+	}
+}
+
+func TestRandomThroughputNearDatasheet(t *testing.T) {
+	// The paper says the IBM 0661 sustains about 46 random 4 KB accesses
+	// per second. Saturate the disk with random requests (always 16 deep,
+	// so CVSCAN has some choice, like a loaded array) and check the rate
+	// is at least that; scheduling gains push it somewhat higher.
+	eng := sim.New()
+	d := New(eng, IBM0661(), 0.2)
+	rng := rand.New(rand.NewSource(42))
+	completed := 0
+	var submit func()
+	submit = func() {
+		d.Submit(&Request{
+			Start: rng.Int63n(d.Geometry().TotalSectors()/8) * 8,
+			Count: 8,
+			OnDone: func(_, _ float64) {
+				completed++
+				if eng.Now() < 60_000 {
+					submit()
+				}
+			},
+		})
+	}
+	for i := 0; i < 16; i++ {
+		submit()
+	}
+	eng.Run()
+	rate := float64(completed) / (eng.Now() / 1000)
+	if rate < 40 || rate > 120 {
+		t.Fatalf("random 4 KB rate = %.1f/s, want roughly datasheet 46+/s", rate)
+	}
+	// Sanity: the naive model matches the paper's 46/s claim.
+	if m := 1000 / d.AvgRandomAccessMS(8); m < 44 || m > 48 {
+		t.Fatalf("model rate = %.1f/s, want ~46", m)
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	// This is the effect at the heart of the paper's disagreement with
+	// Muntz & Lui: sequential 4 KB accesses (reconstruction writes) are
+	// far cheaper than random ones because they pay no seek and almost no
+	// rotational wait.
+	g := IBM0661()
+	eng1 := sim.New()
+	seq := New(eng1, g, 0.2)
+	var seqDone float64
+	n := 500
+	for i := 0; i < n; i++ {
+		seq.Submit(&Request{Start: int64(i) * 8, Count: 8, OnDone: func(_, f float64) { seqDone = f }})
+	}
+	eng1.Run()
+
+	eng2 := sim.New()
+	rnd := New(eng2, g, 0.2)
+	rng := rand.New(rand.NewSource(3))
+	var rndDone float64
+	for i := 0; i < n; i++ {
+		rnd.Submit(&Request{Start: rng.Int63n(g.TotalSectors()/8) * 8, Count: 8, OnDone: func(_, f float64) { rndDone = f }})
+	}
+	eng2.Run()
+
+	if seqDone*4 > rndDone {
+		t.Fatalf("sequential 4 KB stream (%v ms) not at least 4x faster than random (%v ms)", seqDone, rndDone)
+	}
+}
+
+func TestSequentialTrackReadNearOneRevolutionPerTrack(t *testing.T) {
+	// Reading k consecutive full tracks in one request should take about
+	// k revolutions plus skew slips, not k*(rev + rotational wait).
+	g := IBM0661()
+	eng := sim.New()
+	d := New(eng, g, 0.2)
+	var finish float64
+	const tracks = 10
+	d.Submit(&Request{Start: 0, Count: 48 * tracks, OnDone: func(_, f float64) { finish = f }})
+	eng.Run()
+	// Lower bound: tracks revolutions of data transfer.
+	lo := float64(tracks) * g.RevolutionMS
+	// Upper bound: transfer + skew wait per boundary + initial rotation.
+	hi := lo + float64(tracks)*float64(g.TrackSkew)/48*g.RevolutionMS + g.RevolutionMS + g.MinSeekMS
+	if finish < lo || finish > hi {
+		t.Fatalf("%d-track read took %v ms, want in [%v, %v]", tracks, finish, lo, hi)
+	}
+}
+
+func TestTrackSkewAvoidsFullRotationSlip(t *testing.T) {
+	// Reading across one track boundary should cost roughly the skew
+	// (4/48 of a revolution), not a full revolution.
+	g := IBM0661()
+	eng := sim.New()
+	d := New(eng, g, 0.2)
+	var oneTrack, crossing float64
+	d.Submit(&Request{Start: 0, Count: 48, OnDone: func(s, f float64) { oneTrack = f - s }})
+	eng.Run()
+
+	eng2 := sim.New()
+	d2 := New(eng2, g, 0.2)
+	d2.Submit(&Request{Start: 0, Count: 96, OnDone: func(s, f float64) { crossing = f - s }})
+	eng2.Run()
+
+	extra := crossing - oneTrack
+	want := g.RevolutionMS + float64(g.TrackSkew)/48*g.RevolutionMS
+	if math.Abs(extra-want) > 0.5 {
+		t.Fatalf("second track cost %v ms, want ~%v (one rev + skew)", extra, want)
+	}
+}
+
+func TestPriorityClassesDominates(t *testing.T) {
+	eng, d := newTestDisk(t)
+	var order []int
+	// Fill with low-priority requests, then inject a high-priority one;
+	// it must be served before any remaining low-priority work.
+	blocker := &Request{Start: 0, Count: 8}
+	d.Submit(blocker) // in service immediately
+	for i := 0; i < 5; i++ {
+		i := i
+		d.Submit(&Request{Start: int64(100+i) * 672, Count: 8, Priority: 0,
+			OnDone: func(_, _ float64) { order = append(order, i) }})
+	}
+	d.Submit(&Request{Start: 500 * 672, Count: 8, Priority: 1,
+		OnDone: func(_, _ float64) { order = append(order, 99) }})
+	eng.Run()
+	if order[0] != 99 {
+		t.Fatalf("high-priority request served at position %v (order %v)", order[0], order)
+	}
+}
+
+func TestCvscanBiasZeroIsSSTF(t *testing.T) {
+	// With r=0, the scheduler always picks the closest cylinder even if it
+	// reverses direction.
+	eng := sim.New()
+	d := New(eng, IBM0661(), 0)
+	spc := d.Geometry().SectorsPerCylinder()
+	var order []int64
+	d.Submit(&Request{Start: 400 * spc, Count: 8}) // moves head to ~400
+	for _, cyl := range []int64{500, 390, 410} {
+		cyl := cyl
+		d.Submit(&Request{Start: cyl * spc, Count: 8,
+			OnDone: func(_, _ float64) { order = append(order, cyl) }})
+	}
+	eng.Run()
+	if order[0] != 390 && order[0] != 410 {
+		t.Fatalf("SSTF picked %d first, want 390 or 410; order %v", order[0], order)
+	}
+	if order[2] != 500 {
+		t.Fatalf("SSTF served far request at %v, want last; order %v", order[2], order)
+	}
+}
+
+func TestCvscanScanBiasMaintainsDirection(t *testing.T) {
+	// With r=1 (SCAN), a head sweeping up should serve a slightly farther
+	// request in the sweep direction before a closer one behind it.
+	eng := sim.New()
+	d := New(eng, IBM0661(), 1.0)
+	spc := d.Geometry().SectorsPerCylinder()
+	var order []int64
+	// Establish upward direction: head 0 -> 400.
+	d.Submit(&Request{Start: 400 * spc, Count: 8})
+	for _, cyl := range []int64{390, 420} {
+		cyl := cyl
+		d.Submit(&Request{Start: cyl * spc, Count: 8,
+			OnDone: func(_, _ float64) { order = append(order, cyl) }})
+	}
+	eng.Run()
+	if order[0] != 420 {
+		t.Fatalf("SCAN reversed early: order %v, want 420 first", order)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	eng, d := newTestDisk(t)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		d.Submit(&Request{Start: rng.Int63n(d.Geometry().TotalSectors()/8) * 8, Count: 8})
+	}
+	eng.Run()
+	st := d.Stats()
+	if st.BusyMS > eng.Now()+1e-9 {
+		t.Fatalf("busy %v exceeds elapsed %v", st.BusyMS, eng.Now())
+	}
+	if st.BusyMS <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestRequestsDuringServiceQueue(t *testing.T) {
+	eng, d := newTestDisk(t)
+	served := 0
+	d.Submit(&Request{Start: 0, Count: 8, OnDone: func(_, _ float64) {
+		served++
+		// Disk reports not busy only after queue drains.
+	}})
+	d.Submit(&Request{Start: 672, Count: 8, OnDone: func(_, _ float64) { served++ }})
+	if d.QueueLen() != 1 {
+		t.Fatalf("queue len = %d, want 1 (one in service, one waiting)", d.QueueLen())
+	}
+	eng.Run()
+	if served != 2 || d.Busy() {
+		t.Fatalf("served=%d busy=%v", served, d.Busy())
+	}
+}

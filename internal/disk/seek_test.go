@@ -1,0 +1,82 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeekCurveCalibrationPoints(t *testing.T) {
+	g := IBM0661()
+	s := NewSeekCurve(g)
+	if got := s.Time(0); got != 0 {
+		t.Fatalf("Time(0) = %v, want 0", got)
+	}
+	if got := s.Time(1); math.Abs(got-g.MinSeekMS) > 1e-9 {
+		t.Fatalf("Time(1) = %v, want %v", got, g.MinSeekMS)
+	}
+	if got := s.Time(g.Cylinders - 1); math.Abs(got-g.MaxSeekMS) > 1e-9 {
+		t.Fatalf("Time(max) = %v, want %v", got, g.MaxSeekMS)
+	}
+}
+
+func TestSeekCurveAverage(t *testing.T) {
+	g := IBM0661()
+	s := NewSeekCurve(g)
+	// Exact expectation over the conditioned distance distribution must
+	// match the datasheet average.
+	c := float64(g.Cylinders)
+	var pSum, e float64
+	for d := 1; d < g.Cylinders; d++ {
+		p := 2 * (c - float64(d)) / (c * c)
+		pSum += p
+		e += p * s.Time(d)
+	}
+	e /= pSum
+	if math.Abs(e-g.AvgSeekMS) > 1e-6 {
+		t.Fatalf("average seek = %v, want %v", e, g.AvgSeekMS)
+	}
+}
+
+func TestSeekCurveMonotone(t *testing.T) {
+	s := NewSeekCurve(IBM0661())
+	prev := 0.0
+	for d := 1; d <= 948; d++ {
+		v := s.Time(d)
+		if v < prev {
+			t.Fatalf("seek curve decreases at %d: %v < %v", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSeekCurveSymmetricAndClamped(t *testing.T) {
+	s := NewSeekCurve(IBM0661())
+	if s.Time(-100) != s.Time(100) {
+		t.Fatal("seek not symmetric in direction")
+	}
+	if s.Time(5000) != s.Time(948) {
+		t.Fatal("seek not clamped at full stroke")
+	}
+}
+
+func TestSeekCurveScaledGeometries(t *testing.T) {
+	for _, den := range []int{1, 2, 5, 10, 20} {
+		g := IBM0661().Scaled(1, den)
+		s := NewSeekCurve(g) // panics if non-monotone
+		if math.Abs(s.Time(1)-g.MinSeekMS) > 1e-9 {
+			t.Fatalf("den=%d: Time(1) = %v", den, s.Time(1))
+		}
+		if math.Abs(s.Time(g.Cylinders-1)-g.MaxSeekMS) > 1e-9 {
+			t.Fatalf("den=%d: Time(max) = %v", den, s.Time(g.Cylinders-1))
+		}
+	}
+}
+
+func TestSeekCurveTwoCylinderDegenerate(t *testing.T) {
+	g := IBM0661()
+	g.Cylinders = 2
+	s := NewSeekCurve(g)
+	if got := s.Time(1); got != g.MinSeekMS {
+		t.Fatalf("degenerate Time(1) = %v, want min", got)
+	}
+}

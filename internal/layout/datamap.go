@@ -1,0 +1,126 @@
+package layout
+
+import "fmt"
+
+// DataMapper assigns logical user data units to the data stripe units of a
+// layout. The paper uses one mapping (data fills successive parity
+// stripes) and notes as future work a mapping that would instead satisfy
+// the maximal-parallelism criterion (§4.2 end); both are provided here.
+//
+// A parity mapping does not imply a data mapping (§2), so the mapper is a
+// separate object layered on a Layout.
+type DataMapper interface {
+	// Loc returns the stripe unit holding logical data unit n.
+	Loc(n int64) Loc
+	// Index inverts Loc for a unit known to hold data: given its stripe
+	// and position, the logical data unit number.
+	Index(stripe int64, j int) int64
+	// Layout returns the parity layout underneath.
+	Layout() Layout
+}
+
+// StripeIndexMapper is the paper's data mapping: logical data fills parity
+// stripes in stripe order (D0.0, D0.1, ..., D1.0, ...). It satisfies the
+// large-write optimization criterion — a (G−1)-unit aligned write covers
+// exactly one parity stripe — but not maximal parallelism.
+type StripeIndexMapper struct {
+	L Layout
+}
+
+func (m StripeIndexMapper) Layout() Layout { return m.L }
+
+func (m StripeIndexMapper) Loc(n int64) Loc { return DataLoc(m.L, n) }
+
+func (m StripeIndexMapper) Index(stripe int64, j int) int64 { return DataIndex(m.L, stripe, j) }
+
+// ParallelMapper stripes logical data across the disks round-robin: unit n
+// lives on disk n mod C, in that disk's (n div C)-th data slot. Any C
+// consecutive units land on C distinct disks (maximal parallelism), at the
+// cost of the large-write optimization: the data units of one parity
+// stripe are no longer logically contiguous.
+type ParallelMapper struct {
+	l Layout
+	// dataSlots[d] lists, in offset order, the offsets on disk d that
+	// hold data (not parity) within one full parity-rotation cycle
+	// (G allocation periods).
+	dataSlots [][]int64
+	// slotIndex[d][offset] is the inverse: the data-slot ordinal of an
+	// offset on disk d, or -1 for parity offsets.
+	slotIndex [][]int64
+}
+
+// NewParallelMapper precomputes the per-disk data slot tables.
+func NewParallelMapper(l Layout) *ParallelMapper {
+	c := l.Disks()
+	fullStripes := l.StripesPerPeriod() * int64(l.G())
+	perDisk := l.UnitsPerDiskPerPeriod() * int64(l.G())
+	m := &ParallelMapper{
+		l:         l,
+		dataSlots: make([][]int64, c),
+		slotIndex: make([][]int64, c),
+	}
+	for d := 0; d < c; d++ {
+		m.slotIndex[d] = make([]int64, perDisk)
+		for i := range m.slotIndex[d] {
+			m.slotIndex[d][i] = -1
+		}
+	}
+	for s := int64(0); s < fullStripes; s++ {
+		pp := l.ParityPos(s)
+		for j := 0; j < l.G(); j++ {
+			if j == pp {
+				continue
+			}
+			u := l.Unit(s, j)
+			m.slotIndex[u.Disk][u.Offset] = int64(len(m.dataSlots[u.Disk]))
+			m.dataSlots[u.Disk] = append(m.dataSlots[u.Disk], u.Offset)
+		}
+	}
+	// Every disk carries the same number of data slots per full cycle
+	// (r·(G−1)), by the distributed-parity property.
+	want := len(m.dataSlots[0])
+	for d, slots := range m.dataSlots {
+		if len(slots) != want {
+			panic(fmt.Sprintf("layout: disk %d has %d data slots per cycle, disk 0 has %d",
+				d, len(slots), want))
+		}
+	}
+	return m
+}
+
+func (m *ParallelMapper) Layout() Layout { return m.l }
+
+// slotsPerCycle returns data slots per disk per full parity cycle.
+func (m *ParallelMapper) slotsPerCycle() int64 { return int64(len(m.dataSlots[0])) }
+
+func (m *ParallelMapper) Loc(n int64) Loc {
+	if n < 0 {
+		panic(fmt.Sprintf("layout: negative data unit %d", n))
+	}
+	c := int64(m.l.Disks())
+	disk := int(n % c)
+	slot := n / c
+	spc := m.slotsPerCycle()
+	cycle := slot / spc
+	perDiskPerCycle := m.l.UnitsPerDiskPerPeriod() * int64(m.l.G())
+	return Loc{
+		Disk:   disk,
+		Offset: cycle*perDiskPerCycle + m.dataSlots[disk][slot%spc],
+	}
+}
+
+func (m *ParallelMapper) Index(stripe int64, j int) int64 {
+	if j == m.l.ParityPos(stripe) {
+		panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
+	}
+	u := m.l.Unit(stripe, j)
+	perDiskPerCycle := m.l.UnitsPerDiskPerPeriod() * int64(m.l.G())
+	cycle := u.Offset / perDiskPerCycle
+	within := u.Offset % perDiskPerCycle
+	si := m.slotIndex[u.Disk][within]
+	if si < 0 {
+		panic(fmt.Sprintf("layout: unit %v is parity in the slot table", u))
+	}
+	slot := cycle*m.slotsPerCycle() + si
+	return slot*int64(m.l.Disks()) + int64(u.Disk)
+}

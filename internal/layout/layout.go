@@ -1,0 +1,130 @@
+// Package layout maps parity stripes and user data onto the disks of a
+// redundant array. It provides the left-symmetric RAID 5 layout and the
+// paper's block-design-based declustered parity layout (Holland & Gibson
+// 1992, §4), plus checkers for the six layout-goodness criteria of §4.1.
+//
+// Terminology follows the paper: a (data or parity) stripe unit is the
+// allocation granule; a parity stripe is the set of G stripe units (G−1
+// data + 1 parity) bound to one parity equation; disks are numbered
+// 0..C−1; each disk is an array of stripe units addressed by offset.
+package layout
+
+import "fmt"
+
+// Loc addresses one stripe unit: a disk and a unit offset on that disk.
+type Loc struct {
+	Disk   int
+	Offset int64
+}
+
+func (l Loc) String() string { return fmt.Sprintf("d%d:%d", l.Disk, l.Offset) }
+
+// Layout is a periodic mapping of parity stripes to stripe units.
+//
+// Parity stripes are numbered from zero; position j within stripe s ranges
+// over 0..G−1, one of which is the parity unit (ParityPos). The layout is
+// periodic: stripe s+StripesPerPeriod() maps exactly as stripe s with all
+// offsets shifted by UnitsPerDiskPerPeriod().
+type Layout interface {
+	// Disks returns C, the number of disks in the array.
+	Disks() int
+	// G returns the number of stripe units per parity stripe.
+	G() int
+	// Unit returns the location of position j of parity stripe s.
+	Unit(stripe int64, j int) Loc
+	// ParityPos returns which position of stripe s holds parity. Parity
+	// placement may rotate with a super-period of G allocation periods
+	// (the paper's "full block design table").
+	ParityPos(stripe int64) int
+	// Locate inverts Unit: which stripe and position owns a unit.
+	Locate(loc Loc) (stripe int64, j int)
+	// StripesPerPeriod returns the allocation period in parity stripes
+	// (one "block design table": b tuples for declustered layouts).
+	StripesPerPeriod() int64
+	// UnitsPerDiskPerPeriod returns how many units each disk
+	// contributes to one allocation period (r for declustered layouts).
+	// Every disk contributes equally.
+	UnitsPerDiskPerPeriod() int64
+	// Alpha returns the declustering ratio (G−1)/(C−1).
+	Alpha() float64
+}
+
+// DataUnits returns the number of user data units (excluding parity) that
+// fit on an array whose disks hold unitsPerDisk units each; per-disk usable
+// capacity is rounded down to a whole number of allocation periods.
+func DataUnits(l Layout, unitsPerDisk int64) int64 {
+	return UsableStripes(l, unitsPerDisk) * int64(l.G()-1)
+}
+
+// UsableStripes returns how many whole parity stripes fit when each disk
+// holds unitsPerDisk units, rounding down to whole periods.
+func UsableStripes(l Layout, unitsPerDisk int64) int64 {
+	periods := unitsPerDisk / l.UnitsPerDiskPerPeriod()
+	return periods * l.StripesPerPeriod()
+}
+
+// UsableUnitsPerDisk returns the per-disk unit count actually mapped when
+// each disk has unitsPerDisk raw units.
+func UsableUnitsPerDisk(l Layout, unitsPerDisk int64) int64 {
+	periods := unitsPerDisk / l.UnitsPerDiskPerPeriod()
+	return periods * l.UnitsPerDiskPerPeriod()
+}
+
+// DataLoc resolves logical data unit n under the paper's "by parity stripe
+// index" data mapping: data units fill successive parity stripes, skipping
+// each stripe's parity position.
+func DataLoc(l Layout, n int64) Loc {
+	g := int64(l.G())
+	stripe := n / (g - 1)
+	d := int(n % (g - 1))
+	j := d
+	if j >= l.ParityPos(stripe) {
+		j++
+	}
+	return l.Unit(stripe, j)
+}
+
+// DataIndex inverts DataLoc for a unit known to be a data unit: given its
+// stripe and position, return the logical data unit number. It panics if
+// position j is the stripe's parity position.
+func DataIndex(l Layout, stripe int64, j int) int64 {
+	pp := l.ParityPos(stripe)
+	if j == pp {
+		panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
+	}
+	d := j
+	if j > pp {
+		d--
+	}
+	return stripe*int64(l.G()-1) + int64(d)
+}
+
+// ParityLoc returns the location of stripe s's parity unit.
+func ParityLoc(l Layout, stripe int64) Loc {
+	return l.Unit(stripe, l.ParityPos(stripe))
+}
+
+// StripeUnits returns the locations of every unit of stripe s, indexed by
+// position.
+func StripeUnits(l Layout, stripe int64) []Loc {
+	g := l.G()
+	out := make([]Loc, g)
+	for j := 0; j < g; j++ {
+		out[j] = l.Unit(stripe, j)
+	}
+	return out
+}
+
+// SurvivingUnits returns the units of the stripe owning loc, excluding loc
+// itself: exactly the reads needed to reconstruct loc's contents.
+func SurvivingUnits(l Layout, loc Loc) []Loc {
+	stripe, j := l.Locate(loc)
+	g := l.G()
+	out := make([]Loc, 0, g-1)
+	for p := 0; p < g; p++ {
+		if p != j {
+			out = append(out, l.Unit(stripe, p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"declust/internal/blockdesign"
+)
+
+// sparedLayout builds the G=5 spared layout from the paper's G=6 design
+// (tuples of 6: 4 data + parity + spare).
+func sparedLayout(t *testing.T) *Spared {
+	t.Helper()
+	d, err := blockdesign.PaperDesign(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpared(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSparedBasics(t *testing.T) {
+	s := sparedLayout(t)
+	if s.G() != 5 || s.Disks() != 21 {
+		t.Fatalf("G=%d C=%d, want 5/21", s.G(), s.Disks())
+	}
+	if s.Alpha() != 0.2 {
+		t.Fatalf("α=%v, want 0.2 (logical G=5)", s.Alpha())
+	}
+	if s.FullCycleStripes() != s.StripesPerPeriod()*6 {
+		t.Fatalf("full cycle %d, want %d", s.FullCycleStripes(), s.StripesPerPeriod()*6)
+	}
+}
+
+func TestSparedRejectsTinyTuples(t *testing.T) {
+	d, _ := blockdesign.Complete(5, 2, 0)
+	if _, err := NewSpared(d); err == nil {
+		t.Fatal("k=2 accepted for sparing")
+	}
+}
+
+func TestSparedStripeDisjointFromSpare(t *testing.T) {
+	s := sparedLayout(t)
+	for stripe := int64(0); stripe < s.FullCycleStripes(); stripe++ {
+		spare := s.SpareUnit(stripe)
+		seen := map[int]bool{spare.Disk: true}
+		for j := 0; j < s.G(); j++ {
+			u := s.Unit(stripe, j)
+			if u == spare {
+				t.Fatalf("stripe %d position %d collides with spare %v", stripe, j, spare)
+			}
+			if seen[u.Disk] {
+				t.Fatalf("stripe %d: disk %d used twice (incl. spare)", stripe, u.Disk)
+			}
+			seen[u.Disk] = true
+		}
+	}
+}
+
+func TestSparedLocateRoundTrip(t *testing.T) {
+	s := sparedLayout(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stripe := rng.Int63n(3 * s.FullCycleStripes())
+		j := rng.Intn(s.G())
+		loc := s.Unit(stripe, j)
+		s2, j2 := s.Locate(loc)
+		return s2 == stripe && j2 == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparedSlotsPartitionOffsets(t *testing.T) {
+	// Mapped units plus spare units cover every offset of every disk in
+	// one full cycle exactly once.
+	s := sparedLayout(t)
+	perDisk := s.UnitsPerDiskPerPeriod() * int64(s.inner.G())
+	seen := make(map[Loc]string)
+	mark := func(loc Loc, what string) {
+		if prev, dup := seen[loc]; dup {
+			t.Fatalf("%v assigned twice (%s and %s)", loc, prev, what)
+		}
+		seen[loc] = what
+	}
+	for stripe := int64(0); stripe < s.FullCycleStripes(); stripe++ {
+		for j := 0; j < s.G(); j++ {
+			mark(s.Unit(stripe, j), "unit")
+		}
+		mark(s.SpareUnit(stripe), "spare")
+	}
+	if int64(len(seen)) != int64(s.Disks())*perDisk {
+		t.Fatalf("covered %d slots, want %d", len(seen), int64(s.Disks())*perDisk)
+	}
+}
+
+func TestSparedIsSpare(t *testing.T) {
+	s := sparedLayout(t)
+	for stripe := int64(0); stripe < 50; stripe++ {
+		spare := s.SpareUnit(stripe)
+		st, ok := s.IsSpare(spare)
+		if !ok || st != stripe {
+			t.Fatalf("IsSpare(%v) = (%d,%v), want (%d,true)", spare, st, ok, stripe)
+		}
+		u := s.Unit(stripe, 0)
+		if _, ok := s.IsSpare(u); ok {
+			t.Fatalf("data unit %v flagged as spare", u)
+		}
+	}
+}
+
+func TestSparedLocatePanicsOnSpare(t *testing.T) {
+	s := sparedLayout(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Locate of a spare slot did not panic")
+		}
+	}()
+	s.Locate(s.SpareUnit(0))
+}
+
+func TestSparedBalancedRoles(t *testing.T) {
+	// Per full cycle every disk carries the same parity and spare load.
+	s := sparedLayout(t)
+	parity := make(map[int]int)
+	spare := make(map[int]int)
+	for stripe := int64(0); stripe < s.FullCycleStripes(); stripe++ {
+		parity[ParityLoc(s, stripe).Disk]++
+		spare[s.SpareUnit(stripe).Disk]++
+	}
+	for d := 0; d < s.Disks(); d++ {
+		if parity[d] != parity[0] {
+			t.Fatalf("disk %d parity %d, disk 0 %d", d, parity[d], parity[0])
+		}
+		if spare[d] != spare[0] {
+			t.Fatalf("disk %d spare %d, disk 0 %d", d, spare[d], spare[0])
+		}
+	}
+}
+
+func TestSparedMeetsCoreCriteria(t *testing.T) {
+	s := sparedLayout(t)
+	c, err := Check(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SingleFailureCorrecting || !c.DistributedReconstruction || !c.DistributedParity {
+		t.Fatalf("spared layout fails core criteria: %+v", c)
+	}
+}
+
+func TestSparedSpareSpreadsReconstructionWrites(t *testing.T) {
+	// The point of distributed sparing: for a failed disk, spare targets
+	// land on many distinct surviving disks, not one replacement.
+	s := sparedLayout(t)
+	writes := make(map[int]int)
+	perDisk := s.UnitsPerDiskPerPeriod() * int64(s.inner.G())
+	for off := int64(0); off < perDisk; off++ {
+		loc := Loc{Disk: 3, Offset: off}
+		if _, ok := s.IsSpare(loc); ok {
+			continue // nothing to reconstruct for this slot
+		}
+		stripe, _ := s.Locate(loc)
+		sp := s.SpareUnit(stripe)
+		if sp.Disk == 3 {
+			t.Fatalf("stripe %d spare on its own failed disk", stripe)
+		}
+		writes[sp.Disk]++
+	}
+	if len(writes) < s.Disks()-1 {
+		t.Fatalf("spare writes hit only %d disks", len(writes))
+	}
+}

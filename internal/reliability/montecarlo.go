@@ -1,0 +1,104 @@
+// Package reliability estimates array data reliability by Monte Carlo
+// simulation of the failure/repair lifecycle, validating (and relaxing the
+// assumptions of) the closed-form MTTDL model in internal/analytic.
+//
+// The lifecycle: disks fail independently with exponential lifetimes; a
+// failed disk is replaced and reconstructed over a repair window; if any
+// other disk fails inside that window, the array loses data (it is
+// single-failure-correcting). The paper's §2 point — that larger C hurts
+// reliability while shorter reconstruction helps — falls straight out.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params describes the array lifecycle.
+type Params struct {
+	C         int     // disks in the array
+	MTTFHours float64 // mean time to failure of one disk
+	MTTRHours float64 // repair window (≈ measured reconstruction time)
+	Seed      int64
+}
+
+func (p Params) validate() error {
+	if p.C < 2 || p.MTTFHours <= 0 || p.MTTRHours <= 0 {
+		return fmt.Errorf("reliability: invalid parameters %+v", p)
+	}
+	return nil
+}
+
+// Result summarizes a Monte Carlo estimate.
+type Result struct {
+	MTTDLHours float64 // mean time to data loss
+	Trials     int
+	// StdErrHours is the standard error of the MTTDL estimate.
+	StdErrHours float64
+}
+
+// SimulateMTTDL runs `trials` independent lifetimes to data loss and
+// returns the sample mean.
+func SimulateMTTDL(p Params, trials int) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if trials < 1 {
+		return Result{}, fmt.Errorf("reliability: need at least 1 trial")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		t := lifetime(p, rng)
+		sum += t
+		sumSq += t * t
+	}
+	n := float64(trials)
+	mean := sum / n
+	var stderr float64
+	if trials > 1 {
+		variance := (sumSq - n*mean*mean) / (n - 1)
+		if variance > 0 {
+			stderr = math.Sqrt(variance / n)
+		}
+	}
+	return Result{MTTDLHours: mean, Trials: trials, StdErrHours: stderr}, nil
+}
+
+// lifetime simulates one array from new until data loss, returning hours.
+func lifetime(p Params, rng *rand.Rand) float64 {
+	t := 0.0
+	c := float64(p.C)
+	for {
+		// Time to the first failure among C healthy disks.
+		t += rng.ExpFloat64() * p.MTTFHours / c
+		// During the repair window, C−1 disks remain; by memorylessness
+		// the time to the next failure is exponential with rate
+		// (C−1)/MTTF.
+		next := rng.ExpFloat64() * p.MTTFHours / (c - 1)
+		if next < p.MTTRHours {
+			return t + next // second failure inside the window: data loss
+		}
+		t += p.MTTRHours // repaired; all C disks healthy again
+	}
+}
+
+// DataLossProbability estimates the probability of data loss within
+// `missionHours`, by Monte Carlo over `trials` lifetimes.
+func DataLossProbability(p Params, missionHours float64, trials int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if missionHours <= 0 || trials < 1 {
+		return 0, fmt.Errorf("reliability: bad mission %v h / trials %d", missionHours, trials)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	losses := 0
+	for i := 0; i < trials; i++ {
+		if lifetime(p, rng) <= missionHours {
+			losses++
+		}
+	}
+	return float64(losses) / float64(trials), nil
+}

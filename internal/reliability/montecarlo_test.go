@@ -1,0 +1,106 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"declust/internal/analytic"
+)
+
+func TestSimulatedMTTDLMatchesAnalytic(t *testing.T) {
+	// With MTTR << MTTF the closed form MTTF²/(C(C−1)·MTTR) is accurate;
+	// the Monte Carlo must agree within a few standard errors.
+	p := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 1}
+	res, err := SimulateMTTDL(p, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 150_000.0 * 150_000 / (21 * 20 * 2)
+	diff := math.Abs(res.MTTDLHours - want)
+	if diff > 4*res.StdErrHours {
+		t.Fatalf("simulated MTTDL %.3g ± %.2g, analytic %.3g (off by %.1f σ)",
+			res.MTTDLHours, res.StdErrHours, want, diff/res.StdErrHours)
+	}
+	// Cross-check against the analytic package itself.
+	a, err := analytic.Reliability{C: 21, MTTFHours: 150_000, MTTRHours: 2}.MTTDLHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-want) > 1e-6 {
+		t.Fatalf("analytic package disagrees with formula: %v vs %v", a, want)
+	}
+}
+
+func TestShorterRepairImprovesReliability(t *testing.T) {
+	// The whole reason reconstruction time matters (paper §2/§8).
+	fast, err := SimulateMTTDL(Params{C: 21, MTTFHours: 150_000, MTTRHours: 0.5, Seed: 2}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulateMTTDL(Params{C: 21, MTTFHours: 150_000, MTTRHours: 4, Seed: 2}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8x shorter repair should be roughly 8x the MTTDL.
+	ratio := fast.MTTDLHours / slow.MTTDLHours
+	if ratio < 5 || ratio > 12 {
+		t.Fatalf("MTTDL ratio %.1f for 8x repair speedup, want ~8", ratio)
+	}
+}
+
+func TestMoreDisksHurtReliability(t *testing.T) {
+	small, err := SimulateMTTDL(Params{C: 11, MTTFHours: 150_000, MTTRHours: 2, Seed: 3}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SimulateMTTDL(Params{C: 41, MTTFHours: 150_000, MTTRHours: 2, Seed: 3}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MTTDLHours >= small.MTTDLHours {
+		t.Fatalf("41 disks MTTDL %.3g not below 11 disks %.3g", big.MTTDLHours, small.MTTDLHours)
+	}
+}
+
+func TestDataLossProbability(t *testing.T) {
+	p := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 4}
+	const mission = 10 * 365.25 * 24
+	got, err := DataLossProbability(p, mission, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential approximation: 1 − exp(−mission/MTTDL).
+	mttdl := 150_000.0 * 150_000 / (21 * 20 * 2)
+	want := 1 - math.Exp(-mission/mttdl)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("loss probability %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 9}
+	a, _ := SimulateMTTDL(p, 200)
+	b, _ := SimulateMTTDL(p, 200)
+	if a != b {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{C: 1, MTTFHours: 1, MTTRHours: 1},
+		{C: 5, MTTFHours: 0, MTTRHours: 1},
+		{C: 5, MTTFHours: 1, MTTRHours: 0},
+	}
+	for i, p := range bad {
+		if _, err := SimulateMTTDL(p, 10); err == nil {
+			t.Errorf("params %d accepted", i)
+		}
+	}
+	if _, err := SimulateMTTDL(Params{C: 5, MTTFHours: 1, MTTRHours: 1}, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := DataLossProbability(Params{C: 5, MTTFHours: 1, MTTRHours: 1}, 0, 10); err == nil {
+		t.Error("zero mission accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package sim provides a deterministic event-driven simulation engine.
+//
+// Time is a float64 number of milliseconds since the start of the
+// simulation. Events scheduled for the same instant fire in the order they
+// were scheduled (FIFO tie-breaking), which makes simulations reproducible
+// independent of map iteration or goroutine scheduling: the engine is
+// entirely single-threaded.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	time     float64
+	seq      uint64 // FIFO tie-break for equal times
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Engine is an event-driven simulator. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	nowset bool
+}
+
+// New returns a new engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay milliseconds of simulated time. A negative
+// delay panics: the simulated past is immutable.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: schedule with invalid delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulated time t, which must not precede Now.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule of nil func")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the single next event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to exactly t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile fires events as long as cond returns true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroEngineUsable(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now = %v, want 1", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNowAdvancesDuringCallback(t *testing.T) {
+	e := New()
+	e.Schedule(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now inside callback = %v, want 2.5", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(1, func() {
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+			e.Schedule(1, func() { times = append(times, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []float64{2, 3}
+	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
+		t.Fatalf("nested times = %v, want %v", times, want)
+	}
+}
+
+func TestScheduleZeroDelayFiresAtNow(t *testing.T) {
+	e := New()
+	var at float64 = -1
+	e.Schedule(10, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("zero-delay event fired at %v, want 10", at)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil func")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel+run", e.Pending())
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(float64(i), func() { fired = append(fired, i) }))
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(fired) != 8 {
+		t.Fatalf("fired %d, want 8", len(fired))
+	}
+	for _, v := range fired {
+		if v == 3 || v == 7 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 || e.Now() != 10 {
+		t.Fatalf("after RunUntil(10): fired=%d now=%v", len(fired), e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 10 })
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestPropertyOrdering drives the engine with random schedules (including
+// nested ones) and asserts the observed firing times are non-decreasing.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		last := -1.0
+		ok := true
+		var observe func()
+		depth := 0
+		observe = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth < 200 && rng.Intn(2) == 0 {
+				depth++
+				e.Schedule(rng.Float64()*10, observe)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.Schedule(rng.Float64()*100, observe)
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	const n = 50000
+	fired := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(rng.Float64()*1000, func() { fired++ })
+	}
+	e.Run()
+	if fired != n {
+		t.Fatalf("fired %d, want %d", fired, n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}

@@ -1,0 +1,143 @@
+// Package stats provides the small statistical kit the simulations need:
+// streaming mean/variance (Welford), retained samples with percentiles,
+// and warmup trimming.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without retaining
+// samples. The zero value is an empty accumulator.
+type Welford struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add accumulates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+	if !w.hasExtrema || x < w.min {
+		w.min = x
+	}
+	if !w.hasExtrema || x > w.max {
+		w.max = x
+	}
+	w.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation, or 0 with none.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with none.
+func (w *Welford) Max() float64 { return w.max }
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g std=%.3g", w.n, w.Mean(), w.Std())
+}
+
+// Sample retains observations for percentile queries. The zero value is
+// ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean, or 0 when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation, or 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Tail returns a Welford over the last k observations (all if k >= N);
+// the paper's Table 8-1 reports means and deviations over the final 300
+// reconstruction cycles.
+func (s *Sample) Tail(k int) *Welford {
+	w := &Welford{}
+	start := len(s.xs) - k
+	if start < 0 {
+		start = 0
+	}
+	for _, x := range s.xs[start:] {
+		w.Add(x)
+	}
+	return w
+}

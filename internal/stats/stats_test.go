@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		var w Welford
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varr := 0.0
+		for _, x := range xs {
+			varr += (x - mean) * (x - mean)
+		}
+		varr /= float64(n - 1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-varr) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("zero Welford not zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 || w.Min() != 42 || w.Max() != 42 {
+		t.Fatalf("single-sample stats wrong: %v", w.String())
+	}
+}
+
+func TestWelfordExtrema(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{3, -1, 7, 0} {
+		w.Add(x)
+	}
+	if w.Min() != -1 || w.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {90, 90.1},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSamplePercentileEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+}
+
+func TestSampleAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v after late add, want 1", got)
+	}
+}
+
+func TestSampleMeanStd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Std()-2.138) > 0.001 {
+		t.Fatalf("std = %v, want ~2.138", s.Std())
+	}
+}
+
+func TestTail(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	w := s.Tail(3)
+	if w.N() != 3 || w.Mean() != 9 {
+		t.Fatalf("tail(3): n=%d mean=%v, want 3/9", w.N(), w.Mean())
+	}
+	if s.Tail(100).N() != 10 {
+		t.Fatal("tail larger than sample should cover all")
+	}
+}

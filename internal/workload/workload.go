@@ -1,0 +1,110 @@
+// Package workload generates the synthetic user request stream of the
+// paper's Table 5-1(a): fixed-size, aligned accesses, Poisson arrivals at a
+// configurable rate, addresses uniform over the user data space, and a
+// fixed read fraction. Generation is deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	// RatePerSec is the mean user access arrival rate (Poisson).
+	RatePerSec float64
+	// ReadFraction is the probability an access is a read, in [0,1].
+	ReadFraction float64
+	// DataUnits is the size of the user data space in stripe units;
+	// addresses are uniform over [0, DataUnits).
+	DataUnits int64
+	// AccessUnits is the fixed access size in stripe units (the paper
+	// fixes both size and alignment at one 4 KB unit); 0 means 1.
+	// Accesses are aligned to their own size, as in Table 5-1(a).
+	AccessUnits int
+	// HotDataFraction and HotAccessFraction skew the address
+	// distribution: the first HotDataFraction of the data space
+	// receives HotAccessFraction of the accesses (e.g. 0.2/0.8 for the
+	// classic 80/20 rule). Both zero means uniform, as in the paper.
+	HotDataFraction   float64
+	HotAccessFraction float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Op is one user access: a read or write of Count consecutive units.
+type Op struct {
+	Read  bool
+	Unit  int64 // first logical data unit
+	Count int   // units accessed
+}
+
+// Source produces a stream of timed accesses: each Next returns the delay
+// in milliseconds until the next access arrives, and the access itself.
+// Generator (synthetic) and trace.Replayer (recorded) both implement it.
+type Source interface {
+	Next() (delayMS float64, op Op)
+}
+
+// Generator produces a deterministic Poisson stream of Ops.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New validates the configuration and builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.RatePerSec <= 0 || math.IsNaN(cfg.RatePerSec) || math.IsInf(cfg.RatePerSec, 0) {
+		return nil, fmt.Errorf("workload: rate must be positive, have %v", cfg.RatePerSec)
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v out of [0,1]", cfg.ReadFraction)
+	}
+	if cfg.DataUnits <= 0 {
+		return nil, fmt.Errorf("workload: data space must be positive, have %d units", cfg.DataUnits)
+	}
+	if cfg.AccessUnits == 0 {
+		cfg.AccessUnits = 1
+	}
+	if cfg.AccessUnits < 0 || int64(cfg.AccessUnits) > cfg.DataUnits {
+		return nil, fmt.Errorf("workload: access size %d units out of range (data space %d)",
+			cfg.AccessUnits, cfg.DataUnits)
+	}
+	hot := cfg.HotDataFraction != 0 || cfg.HotAccessFraction != 0
+	if hot {
+		if cfg.HotDataFraction <= 0 || cfg.HotDataFraction >= 1 ||
+			cfg.HotAccessFraction <= 0 || cfg.HotAccessFraction >= 1 {
+			return nil, fmt.Errorf("workload: hot-spot fractions must both lie in (0,1), have %v/%v",
+				cfg.HotDataFraction, cfg.HotAccessFraction)
+		}
+		slots := cfg.DataUnits / int64(cfg.AccessUnits)
+		if hotSlots := int64(cfg.HotDataFraction * float64(slots)); hotSlots < 1 || hotSlots >= slots {
+			return nil, fmt.Errorf("workload: hot region of %d slots infeasible", hotSlots)
+		}
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Next returns the interarrival delay in milliseconds until the next
+// access, and the access itself.
+func (g *Generator) Next() (delayMS float64, op Op) {
+	delayMS = g.rng.ExpFloat64() / g.cfg.RatePerSec * 1000
+	op.Read = g.rng.Float64() < g.cfg.ReadFraction
+	op.Count = g.cfg.AccessUnits
+	slots := g.cfg.DataUnits / int64(g.cfg.AccessUnits)
+	slot := g.rng.Int63n(slots)
+	if g.cfg.HotDataFraction > 0 {
+		hotSlots := int64(g.cfg.HotDataFraction * float64(slots))
+		if g.rng.Float64() < g.cfg.HotAccessFraction {
+			slot = g.rng.Int63n(hotSlots)
+		} else {
+			slot = hotSlots + g.rng.Int63n(slots-hotSlots)
+		}
+	}
+	op.Unit = slot * int64(g.cfg.AccessUnits)
+	return delayMS, op
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{RatePerSec: 0, ReadFraction: 0.5, DataUnits: 10},
+		{RatePerSec: -1, ReadFraction: 0.5, DataUnits: 10},
+		{RatePerSec: 100, ReadFraction: -0.1, DataUnits: 10},
+		{RatePerSec: 100, ReadFraction: 1.1, DataUnits: 10},
+		{RatePerSec: 100, ReadFraction: 0.5, DataUnits: 0},
+		{RatePerSec: math.NaN(), ReadFraction: 0.5, DataUnits: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	mk := func() *Generator {
+		g, err := New(Config{RatePerSec: 105, ReadFraction: 0.5, DataUnits: 1000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		da, oa := a.Next()
+		db, ob := b.Next()
+		if da != db || oa != ob {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestArrivalRateMatches(t *testing.T) {
+	g, _ := New(Config{RatePerSec: 210, ReadFraction: 0.5, DataUnits: 1 << 20, Seed: 1})
+	const n = 100000
+	total := 0.0
+	for i := 0; i < n; i++ {
+		d, _ := g.Next()
+		total += d
+	}
+	rate := n / (total / 1000)
+	if math.Abs(rate-210)/210 > 0.02 {
+		t.Fatalf("empirical rate %.1f/s, want ~210", rate)
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	for _, rf := range []float64{0, 0.5, 1} {
+		g, _ := New(Config{RatePerSec: 100, ReadFraction: rf, DataUnits: 100, Seed: 3})
+		reads := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			_, op := g.Next()
+			if op.Read {
+				reads++
+			}
+		}
+		got := float64(reads) / n
+		if math.Abs(got-rf) > 0.02 {
+			t.Errorf("read fraction %v: observed %v", rf, got)
+		}
+	}
+}
+
+func TestAccessSizeAndAlignment(t *testing.T) {
+	g, err := New(Config{RatePerSec: 100, ReadFraction: 0.5, DataUnits: 1000, AccessUnits: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		_, op := g.Next()
+		if op.Count != 8 {
+			t.Fatalf("count %d, want 8", op.Count)
+		}
+		if op.Unit%8 != 0 {
+			t.Fatalf("unit %d not aligned to access size", op.Unit)
+		}
+		if op.Unit+8 > 1000 {
+			t.Fatalf("access [%d,%d) exceeds data space", op.Unit, op.Unit+8)
+		}
+	}
+}
+
+func TestAccessSizeValidation(t *testing.T) {
+	if _, err := New(Config{RatePerSec: 1, ReadFraction: 0, DataUnits: 10, AccessUnits: 11}); err == nil {
+		t.Fatal("oversized access accepted")
+	}
+	if _, err := New(Config{RatePerSec: 1, ReadFraction: 0, DataUnits: 10, AccessUnits: -1}); err == nil {
+		t.Fatal("negative access size accepted")
+	}
+	g, err := New(Config{RatePerSec: 1, ReadFraction: 0, DataUnits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, op := g.Next(); op.Count != 1 {
+		t.Fatalf("default count %d, want 1", op.Count)
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	g, err := New(Config{
+		RatePerSec: 100, ReadFraction: 0.5, DataUnits: 1000, Seed: 8,
+		HotDataFraction: 0.2, HotAccessFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	hot := 0
+	for i := 0; i < n; i++ {
+		_, op := g.Next()
+		if op.Unit < 200 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("hot region received %.3f of accesses, want ~0.8", frac)
+	}
+}
+
+func TestHotSpotValidation(t *testing.T) {
+	bad := []Config{
+		{RatePerSec: 1, DataUnits: 100, HotDataFraction: 0.2},                          // one-sided
+		{RatePerSec: 1, DataUnits: 100, HotDataFraction: 1.2, HotAccessFraction: 0.8},  // out of range
+		{RatePerSec: 1, DataUnits: 100, HotDataFraction: 0.2, HotAccessFraction: -0.1}, // out of range
+		{RatePerSec: 1, DataUnits: 3, HotDataFraction: 0.01, HotAccessFraction: 0.9},   // empty hot region
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAddressesUniformAndInRange(t *testing.T) {
+	const units = 64
+	g, _ := New(Config{RatePerSec: 100, ReadFraction: 0.5, DataUnits: units, Seed: 5})
+	counts := make([]int, units)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		_, op := g.Next()
+		if op.Unit < 0 || op.Unit >= units {
+			t.Fatalf("unit %d out of range", op.Unit)
+		}
+		counts[op.Unit]++
+	}
+	want := float64(n) / units
+	for u, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.25 {
+			t.Errorf("unit %d hit %d times, want ~%.0f", u, c, want)
+		}
+	}
+}
