@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke bench vet fmt-check verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — exercises each paper figure/table
+# driver and the instrumentation overhead pair without the full timing run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The full pre-merge gate: formatting, static checks, build, the race-able
+# test suite, and a benchmark smoke pass.
+verify: fmt-check vet build race bench-smoke
+	@echo "verify: OK"
+
+clean:
+	$(GO) clean ./...

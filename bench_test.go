@@ -233,3 +233,41 @@ func BenchmarkDesignGeneration(b *testing.B) {
 		}
 	}
 }
+
+// --- Instrumentation overhead ---
+
+// benchFaultFree runs one 1/20-scale fault-free window, optionally with the
+// full metrics stack (registry, latency histograms, time-series sampling)
+// attached. The Off/On pair bounds the overhead of instrumentation; with it
+// disabled the hot path pays only nil checks.
+func benchFaultFree(b *testing.B, instrumented bool) {
+	cfg := declust.SimConfig{
+		C: 21, G: 5,
+		ScaleNum: 1, ScaleDen: 20,
+		RatePerSec:   210,
+		ReadFraction: 0.5,
+		Seed:         11,
+		WarmupMS:     2_000,
+		MeasureMS:    20_000,
+	}
+	for i := 0; i < b.N; i++ {
+		run := cfg
+		if instrumented {
+			run.Metrics = declust.NewMetricsRegistry()
+			run.SampleEveryMS = 1000
+		}
+		m, err := declust.RunFaultFree(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.EngineEvents)/float64(m.Requests), "events/req")
+	}
+}
+
+// BenchmarkFaultFreeMetricsOff is the uninstrumented baseline.
+func BenchmarkFaultFreeMetricsOff(b *testing.B) { benchFaultFree(b, false) }
+
+// BenchmarkFaultFreeMetricsOn runs the same window with the registry,
+// histograms and per-disk sampling enabled; compare ns/op against
+// BenchmarkFaultFreeMetricsOff to measure instrumentation overhead.
+func BenchmarkFaultFreeMetricsOn(b *testing.B) { benchFaultFree(b, true) }

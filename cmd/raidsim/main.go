@@ -6,12 +6,21 @@
 //	raidsim -mode recon -c 21 -g 5 -rate 210 -reads 0.5 -procs 8
 //	raidsim -mode faultfree -g 21 -rate 378 -reads 1
 //	raidsim -mode degraded -g 10 -rate 105 -reads 0 -scale 10
+//
+// Observability:
+//
+//	raidsim -mode recon -metrics out.txt -series out.csv -events ev.jsonl -progress
+//	raidsim -mode recon -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"declust/internal/trace"
 
@@ -37,6 +46,13 @@ func main() {
 	datamap := flag.String("datamap", "stripe-index", "data mapping: stripe-index | parallel")
 	traceOut := flag.String("trace", "", "write the measured user accesses to this trace file")
 	replayIn := flag.String("replay", "", "replay a trace file instead of the synthetic workload")
+	metricsOut := flag.String("metrics", "", "write Prometheus-style metrics to this file")
+	seriesOut := flag.String("series", "", "write per-disk time-series CSV to this file")
+	eventsOut := flag.String("events", "", "write a JSONL event trace (accesses, disk requests, recon cycles) to this file")
+	sampleMS := flag.Float64("sample", 1000, "time-series cadence in simulated ms (with -series)")
+	progress := flag.Bool("progress", false, "print reconstruction progress lines to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	algorithm := map[string]declust.ReconAlgorithm{
@@ -62,6 +78,63 @@ func main() {
 		DistributedSparing:        *sparing,
 		ReconThrottleCyclesPerSec: *throttle,
 		ReconLowPriority:          *lowprio,
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	var reg *declust.MetricsRegistry
+	if *metricsOut != "" || *seriesOut != "" {
+		reg = declust.NewMetricsRegistry()
+		cfg.Metrics = reg
+		if *seriesOut != "" {
+			cfg.SampleEveryMS = *sampleMS
+		}
+	}
+	var events *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		events = f
+		jl := declust.NewJSONLTracer(f)
+		cfg.Tracer = jl
+		defer func() {
+			if err := jl.Flush(); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *progress {
+		wallStart := time.Now()
+		lastPrint := time.Time{}
+		cfg.OnProgress = func(p declust.Progress) {
+			final := p.TotalUnits > 0 && p.DoneUnits == p.TotalUnits
+			if !final && time.Since(lastPrint) < 200*time.Millisecond {
+				return
+			}
+			lastPrint = time.Now()
+			pct := 0.0
+			if p.TotalUnits > 0 {
+				pct = 100 * float64(p.DoneUnits) / float64(p.TotalUnits)
+			}
+			rate := float64(p.EventsFired) / time.Since(wallStart).Seconds()
+			fmt.Fprintf(os.Stderr, "recon %5.1f%% (%d/%d units)  sim %.1fs  ETA %.1fs  [%.2fM events/s]\n",
+				pct, p.DoneUnits, p.TotalUnits, p.SimMS/1000, p.ETAMS/1000, rate/1e6)
+		}
 	}
 
 	var captured trace.Log
@@ -93,6 +166,7 @@ func main() {
 	fmt.Println("array:    ", m.Describe())
 	fmt.Printf("workload:  %.0f accesses/s, %.0f%% reads, seed %d\n", *rate, *reads*100, *seed)
 
+	wallStart := time.Now()
 	var res declust.Metrics
 	switch *mode {
 	case "faultfree":
@@ -108,6 +182,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	wall := time.Since(wallStart)
 
 	fmt.Println()
 	fmt.Printf("user response:  mean %.1f ms, σ %.1f ms, P90 %.1f ms (%d requests)\n",
@@ -117,6 +192,21 @@ func main() {
 			res.ReconTimeMS/60_000, res.ReconTimeMS, res.ReconCycles)
 		fmt.Printf("recon cycle:    read %.1f ms (σ %.1f) + write %.1f ms (σ %.1f)\n",
 			res.ReadPhaseMeanMS, res.ReadPhaseStdMS, res.WritePhaseMeanMS, res.WritePhaseStdMS)
+	}
+	fmt.Printf("engine:         %d events, sim %.1fs in wall %.2fs (%.2fM events/s)\n",
+		res.EngineEvents, res.SimEndMS/1000, wall.Seconds(),
+		float64(res.EngineEvents)/wall.Seconds()/1e6)
+
+	if *metricsOut != "" {
+		writeFile(*metricsOut, reg.WritePrometheus)
+		fmt.Printf("metrics:        written to %s\n", *metricsOut)
+	}
+	if *seriesOut != "" {
+		writeFile(*seriesOut, reg.WriteCSV)
+		fmt.Printf("series:         written to %s\n", *seriesOut)
+	}
+	if events != nil {
+		fmt.Printf("events:         written to %s\n", *eventsOut)
 	}
 
 	if *traceOut != "" {
@@ -131,6 +221,34 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("trace:          %d accesses written to %s\n", captured.Len(), *traceOut)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeFile writes one export to path via the given emitter.
+func writeFile(path string, emit func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := emit(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"declust/internal/core"
 	"declust/internal/disk"
 	"declust/internal/layout"
+	"declust/internal/metrics"
 	"declust/internal/trace"
 	"io"
 )
@@ -141,6 +142,27 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) { return core.Ru
 func NewSparedMapping(c, g, maxTuples int) (*Mapping, error) {
 	return core.NewSparedMapping(c, g, maxTuples)
 }
+
+// MetricsRegistry collects named counters, gauges, log-bucketed latency
+// histograms and per-disk time series from a simulation run; assign one
+// to SimConfig.Metrics and export with WritePrometheus / WriteCSV. Same
+// seed and config produce byte-identical exports.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Tracer receives structured simulation events (user accesses, disk
+// requests, reconstruction milestones); assign one to SimConfig.Tracer.
+type Tracer = metrics.Tracer
+
+// NewJSONLTracer returns a Tracer writing one JSON event per line to w.
+// Call Flush when the run completes.
+func NewJSONLTracer(w io.Writer) *metrics.JSONL { return metrics.NewJSONL(w) }
+
+// Progress is a reconstruction progress report delivered to
+// SimConfig.OnProgress (done units, total, ETA in simulated ms).
+type Progress = core.Progress
 
 // DataLoc resolves a logical data unit to its disk and unit offset under
 // the paper's "by parity stripe index" data mapping.

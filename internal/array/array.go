@@ -20,6 +20,7 @@ import (
 
 	"declust/internal/disk"
 	"declust/internal/layout"
+	"declust/internal/metrics"
 	"declust/internal/sim"
 	"declust/internal/stats"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// replacement disk. Requires a Layout implementing
 	// layout.SpareLayout (see layout.NewSpared).
 	DistributedSparing bool
+	// Metrics, when non-nil, receives operation counters (user
+	// reads/writes, on-the-fly reconstructions, reconstruction cycles).
+	// Nil disables them at zero cost on the I/O paths.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives reconstruction lifecycle events.
+	Tracer metrics.Tracer
 }
 
 // Array is a simulated redundant disk array under a striping driver.
@@ -122,14 +129,25 @@ type Array struct {
 	// Reconstruction bookkeeping.
 	reconActive    bool
 	reconRemaining int64
+	reconTotal     int64
 	reconCursor    int64
 	reconStartMS   float64
 	reconEndMS     float64
 	reconProcsLive int
 	reconOnDone    func()
 	reconCycles    int64
+	reconReads     []int64 // per-disk survivor units read by the sweep
 	readPhase      stats.Sample
 	writePhase     stats.Sample
+
+	// Instrumentation. The counters are nil (no-op) without a registry;
+	// tracer calls are guarded by nil checks.
+	tracer      metrics.Tracer
+	diskObs     func(slot int, e disk.Event)
+	mUserReads  *metrics.Counter
+	mUserWrites *metrics.Counter
+	mOTFRecons  *metrics.Counter
+	mReconCyc   *metrics.Counter
 }
 
 // New builds a fault-free array and initializes contents and parity.
@@ -174,8 +192,16 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 		dataUnits:    layout.DataUnits(cfg.Layout, rawUnits),
 		failed:       -1,
 		spareLay:     spareLay,
+		tracer:       cfg.Tracer,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		a.mUserReads = reg.Counter("array_user_reads")
+		a.mUserWrites = reg.Counter("array_user_writes")
+		a.mOTFRecons = reg.Counter("array_onthefly_reconstructions")
+		a.mReconCyc = reg.Counter("array_recon_cycles")
 	}
 	c := a.lay.Disks()
+	a.reconReads = make([]int64, c)
 	a.disks = make([]*disk.Disk, c)
 	a.contents = make([][]uint64, c)
 	for i := range a.disks {
@@ -232,6 +258,22 @@ func (a *Array) Layout() layout.Layout { return a.lay }
 // was failed and replaced).
 func (a *Array) Disk(i int) *disk.Disk { return a.disks[i] }
 
+// ObserveDisks registers fn as the request-completion observer of every
+// drive, tagged with its slot index. The registration survives disk
+// replacement: a drive installed by Replace inherits it. Pass nil to stop
+// observing.
+func (a *Array) ObserveDisks(fn func(slot int, e disk.Event)) {
+	a.diskObs = fn
+	for i, d := range a.disks {
+		if fn == nil {
+			d.SetObserver(nil)
+			continue
+		}
+		slot := i
+		d.SetObserver(func(e disk.Event) { fn(slot, e) })
+	}
+}
+
 // FailedDisk returns the failed slot index, or -1 when fault-free.
 func (a *Array) FailedDisk() int { return a.failed }
 
@@ -283,6 +325,10 @@ func (a *Array) Replace() error {
 		return fmt.Errorf("array: distributed-sparing array reconstructs into spares; no replacement")
 	}
 	a.disks[a.failed] = disk.New(a.eng, a.cfg.Geom, a.cfg.CvscanBias)
+	if a.diskObs != nil {
+		slot := a.failed
+		a.disks[slot].SetObserver(func(e disk.Event) { a.diskObs(slot, e) })
+	}
 	a.contents[a.failed] = make([]uint64, a.unitsPerDisk)
 	a.replacement = true
 	return nil

@@ -119,6 +119,7 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 	if unit < 0 || unit >= a.dataUnits {
 		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
 	}
+	a.mUserReads.Inc()
 	loc := a.mapper.Loc(unit)
 	plain := func() {
 		a.io([]xfer{{loc: loc}}, userPriority, func() {
@@ -143,6 +144,7 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 			return
 		}
 		surv := layout.SurvivingUnits(a.lay, loc)
+		a.mOTFRecons.Inc()
 		a.io(reads(surv), userPriority, func() {
 			value := a.xorUnits(surv)
 			if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
@@ -186,6 +188,7 @@ func (a *Array) Write(unit int64, done func()) {
 	if unit < 0 || unit >= a.dataUnits {
 		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
 	}
+	a.mUserWrites.Inc()
 	loc := a.mapper.Loc(unit)
 	stripe, _ := a.lay.Locate(loc)
 	value := a.newValue()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"declust/internal/layout"
+	"declust/internal/metrics"
 	"declust/internal/stats"
 )
 
@@ -33,6 +34,15 @@ func (a *Array) Reconstruct(done func()) error {
 		if !d {
 			a.reconRemaining++
 		}
+	}
+	a.reconTotal = a.reconRemaining
+	for i := range a.reconReads {
+		a.reconReads[i] = 0
+	}
+	if a.tracer != nil {
+		a.tracer.Recon(metrics.ReconEvent{
+			Ev: metrics.EvReconStart, TMS: a.eng.Now(), TotalUnits: a.reconTotal,
+		})
 	}
 	if a.reconRemaining == 0 {
 		a.finishRecon()
@@ -98,6 +108,9 @@ func (a *Array) reconStep() {
 			return
 		}
 		surv := layout.SurvivingUnits(a.lay, loc)
+		for _, u := range surv {
+			a.reconReads[u.Disk]++
+		}
 		readStart := a.eng.Now()
 		a.io(reads(surv), a.reconPrio(), func() {
 			value := a.xorUnits(surv)
@@ -107,7 +120,15 @@ func (a *Array) reconStep() {
 				a.setUnitVal(loc, value)
 				a.writePhase.Add(a.eng.Now() - writeStart)
 				a.reconCycles++
+				a.mReconCyc.Inc()
 				a.markReconstructed(off)
+				if a.tracer != nil {
+					a.tracer.Recon(metrics.ReconEvent{
+						Ev: metrics.EvReconCycle, TMS: a.eng.Now(), Offset: off,
+						DoneUnits: a.reconTotal - a.reconRemaining, TotalUnits: a.reconTotal,
+						ReadMS: writeStart - readStart, WriteMS: a.eng.Now() - writeStart,
+					})
+				}
 				a.locks.release(stripe)
 				a.scheduleNextCycle(cycleStart)
 			})
@@ -154,6 +175,12 @@ func (a *Array) markReconstructed(off int64) {
 func (a *Array) finishRecon() {
 	a.reconEndMS = a.eng.Now()
 	a.reconActive = false
+	if a.tracer != nil {
+		a.tracer.Recon(metrics.ReconEvent{
+			Ev: metrics.EvReconDone, TMS: a.eng.Now(),
+			DoneUnits: a.reconTotal, TotalUnits: a.reconTotal,
+		})
+	}
 	if a.spareLay != nil && a.failed >= 0 {
 		a.spared = true
 	} else {
@@ -169,6 +196,26 @@ func (a *Array) finishRecon() {
 
 // ReconTimeMS returns the duration of the last completed reconstruction.
 func (a *Array) ReconTimeMS() float64 { return a.reconEndMS - a.reconStartMS }
+
+// ReconStartMS returns when the last reconstruction began.
+func (a *Array) ReconStartMS() float64 { return a.reconStartMS }
+
+// ReconProgress reports how many lost units are live again out of the
+// total the current (or last) reconstruction set out to recover. Units
+// reconstructed by user writes or piggybacking count as done.
+func (a *Array) ReconProgress() (done, total int64) {
+	return a.reconTotal - a.reconRemaining, a.reconTotal
+}
+
+// ReconReadLoad returns, per disk slot, how many survivor units the
+// reconstruction sweep read — the direct observable behind the paper's
+// claim that declustering spreads rebuild load evenly at fraction α over
+// the survivors (the failed slot reads nothing).
+func (a *Array) ReconReadLoad() []int64 {
+	out := make([]int64, len(a.reconReads))
+	copy(out, a.reconReads)
+	return out
+}
 
 // ReconCycles returns how many stripe units the sweep itself reconstructed
 // (units reconstructed by user activity are not counted).

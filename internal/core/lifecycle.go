@@ -162,6 +162,7 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) {
 	}
 
 	r.from = 0
+	r.startSampling()
 	r.pump()
 	scheduleFailure()
 	r.eng.RunUntil(cfg.DurationMS)
@@ -173,6 +174,7 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) {
 	if err := r.arr.CheckConsistency(); err != nil {
 		return LifecycleReport{}, fmt.Errorf("core: lifecycle consistency: %w", err)
 	}
+	r.exportFinal()
 
 	total := rep.FaultFreeMS + rep.DegradedMS + rep.ReconstructingMS
 	if total > 0 {

@@ -6,6 +6,7 @@ import (
 	"declust/internal/array"
 	"declust/internal/disk"
 	"declust/internal/layout"
+	"declust/internal/metrics"
 	"declust/internal/sim"
 	"declust/internal/stats"
 	"declust/internal/trace"
@@ -66,6 +67,38 @@ type SimConfig struct {
 	// CaptureTrace, when non-nil, records every measured user access
 	// (arrival, completion, op) into the log for later replay.
 	CaptureTrace *trace.Log
+
+	// Observability. All fields are optional; with the zero values the
+	// simulation pays nothing for instrumentation.
+	//
+	// Metrics, when non-nil, collects counters, latency histograms and
+	// final per-disk/engine gauges; export with WritePrometheus and
+	// WriteCSV. Everything is keyed on simulated time, so exports are
+	// byte-identical across runs of the same seed and configuration.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives structured events: every measured
+	// user access, every disk request, and reconstruction milestones.
+	Tracer metrics.Tracer
+	// SampleEveryMS, with Metrics set, samples per-disk time series
+	// (utilization, queue depth, mean seek distance) on this sim-time
+	// cadence; 0 disables sampling.
+	SampleEveryMS float64
+	// OnProgress, during reconstruction runs, is called every
+	// ProgressEveryMS of simulated time (default 1000) with sweep
+	// progress and an ETA.
+	OnProgress      func(Progress)
+	ProgressEveryMS float64
+}
+
+// Progress is a reconstruction progress report (see SimConfig.OnProgress).
+type Progress struct {
+	SimMS      float64 // current simulated time
+	DoneUnits  int64   // lost units live again
+	TotalUnits int64
+	ETAMS      float64 // estimated simulated ms until completion (0 until measurable)
+	// EventsFired is the engine's cumulative event count; divided by
+	// wall-clock time it gives the simulator's throughput.
+	EventsFired uint64
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -111,6 +144,12 @@ type Metrics struct {
 
 	// Alpha is the achieved declustering ratio of the layout used.
 	Alpha float64
+
+	// SimEndMS is the simulated clock when the run finished draining;
+	// EngineEvents is the total number of engine events fired. Both are
+	// deterministic for a given seed and configuration.
+	SimEndMS     float64
+	EngineEvents uint64
 }
 
 // runner wires an array to a workload generator and collects response
@@ -128,6 +167,15 @@ type runner struct {
 	from     float64
 	to       float64
 	stopped  bool
+
+	// Instrumentation (nil-safe no-ops when disabled).
+	reg       *metrics.Registry
+	tracer    metrics.Tracer
+	respHist  *metrics.Histogram
+	readHist  *metrics.Histogram
+	writeHist *metrics.Histogram
+	mRequests *metrics.Counter
+	sampleMS  float64
 }
 
 func newRunner(cfg SimConfig) (*runner, error) {
@@ -158,6 +206,8 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		ReconThrottleCyclesPerSec: cfg.ReconThrottleCyclesPerSec,
 		DataMapper:                mapper,
 		DistributedSparing:        cfg.DistributedSparing,
+		Metrics:                   cfg.Metrics,
+		Tracer:                    cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -177,7 +227,115 @@ func newRunner(cfg SimConfig) (*runner, error) {
 			return nil, err
 		}
 	}
-	return &runner{eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1}, nil
+	r := &runner{
+		eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1,
+		reg: cfg.Metrics, tracer: cfg.Tracer, sampleMS: cfg.SampleEveryMS,
+	}
+	if r.reg != nil {
+		r.respHist = r.reg.Histogram("user_response_ms")
+		r.readHist = r.reg.Histogram(`user_response_ms_by_op{op="read"}`)
+		r.writeHist = r.reg.Histogram(`user_response_ms_by_op{op="write"}`)
+		r.mRequests = r.reg.Counter("user_requests")
+	}
+	if r.tracer != nil {
+		tr := r.tracer
+		arr.ObserveDisks(func(slot int, e disk.Event) {
+			tr.Disk(metrics.DiskEvent{
+				Disk: slot, QueuedMS: e.QueuedAt, StartMS: e.Start, DoneMS: e.Finish,
+				Write: e.Write, Sectors: e.Sectors, SeekCyls: e.SeekDist, Priority: e.Priority,
+			})
+		})
+	}
+	return r, nil
+}
+
+// startSampling begins the per-disk time-series sampler: every sampleMS
+// of simulated time it appends utilization (busy fraction of the
+// interval), instantaneous queue depth, and mean seek distance per
+// completed request to the registry's series. The sampler reads state
+// only, so enabling it never changes simulation results; it stops
+// rescheduling once the runner is stopped and the engine drains.
+func (r *runner) startSampling() {
+	if r.reg == nil || r.sampleMS <= 0 {
+		return
+	}
+	n := r.arr.Layout().Disks()
+	util := make([]*metrics.Series, n)
+	depth := make([]*metrics.Series, n)
+	seek := make([]*metrics.Series, n)
+	prev := make([]disk.Stats, n)
+	for i := 0; i < n; i++ {
+		util[i] = r.reg.Series(fmt.Sprintf(`disk_util{disk="%d"}`, i))
+		depth[i] = r.reg.Series(fmt.Sprintf(`disk_queue_depth{disk="%d"}`, i))
+		seek[i] = r.reg.Series(fmt.Sprintf(`disk_seek_cyls_avg{disk="%d"}`, i))
+	}
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		now := r.eng.Now()
+		for i := 0; i < n; i++ {
+			d := r.arr.Disk(i)
+			st := d.Stats()
+			busy := st.BusyMS - prev[i].BusyMS
+			moved := st.SeekCyls - prev[i].SeekCyls
+			completed := st.Completed - prev[i].Completed
+			if busy < 0 || completed < 0 {
+				// The slot's drive was replaced mid-interval; its
+				// counters restarted from zero.
+				busy, moved, completed = st.BusyMS, st.SeekCyls, st.Completed
+			}
+			util[i].Observe(now, busy/r.sampleMS)
+			depth[i].Observe(now, float64(d.QueueLen()))
+			avg := 0.0
+			if completed > 0 {
+				avg = float64(moved) / float64(completed)
+			}
+			seek[i].Observe(now, avg)
+			prev[i] = st
+		}
+		r.eng.Schedule(r.sampleMS, tick)
+	}
+	r.eng.Schedule(r.sampleMS, tick)
+}
+
+// exportFinal freezes end-of-run aggregates into the registry: per-disk
+// lifetime gauges, engine totals, and — after a reconstruction — sweep
+// totals and the per-survivor read load.
+func (r *runner) exportFinal() {
+	if r.reg == nil {
+		return
+	}
+	now := r.eng.Now()
+	r.reg.Gauge("sim_end_ms").Set(now)
+	r.reg.Counter("engine_events_fired").Add(int64(r.eng.Fired()))
+	r.reg.Counter("engine_events_scheduled").Add(int64(r.eng.Scheduled()))
+	for i := 0; i < r.arr.Layout().Disks(); i++ {
+		st := r.arr.Disk(i).Stats()
+		lbl := fmt.Sprintf(`{disk="%d"}`, i)
+		u := 0.0
+		if now > 0 {
+			u = st.BusyMS / now
+		}
+		r.reg.Gauge("disk_util" + lbl).Set(u)
+		r.reg.Gauge("disk_busy_ms" + lbl).Set(st.BusyMS)
+		r.reg.Gauge("disk_seek_ms" + lbl).Set(st.SeekMS)
+		r.reg.Gauge("disk_queue_ms" + lbl).Set(st.QueueMS)
+		r.reg.Gauge("disk_max_queue" + lbl).Set(float64(st.MaxQueueLen))
+		r.reg.Counter("disk_requests" + lbl).Add(st.Completed)
+		r.reg.Counter("disk_sectors" + lbl).Add(st.SectorsMoved)
+		r.reg.Counter("disk_seek_cyls" + lbl).Add(st.SeekCyls)
+	}
+	if _, total := r.arr.ReconProgress(); total > 0 {
+		done, _ := r.arr.ReconProgress()
+		r.reg.Gauge("recon_time_ms").Set(r.arr.ReconTimeMS())
+		r.reg.Gauge("recon_done_units").Set(float64(done))
+		r.reg.Gauge("recon_total_units").Set(float64(total))
+		for i, nread := range r.arr.ReconReadLoad() {
+			r.reg.Counter(fmt.Sprintf(`recon_survivor_reads{disk="%d"}`, i)).Add(nread)
+		}
+	}
 }
 
 // pump issues the next arrival and reschedules itself until stopped.
@@ -193,7 +351,21 @@ func (r *runner) pump() {
 		start := r.eng.Now()
 		record := func() {
 			if start >= r.from && (r.to < 0 || start < r.to) {
-				r.resp.Add(r.eng.Now() - start)
+				lat := r.eng.Now() - start
+				r.resp.Add(lat)
+				r.mRequests.Inc()
+				r.respHist.Observe(lat)
+				if op.Read {
+					r.readHist.Observe(lat)
+				} else {
+					r.writeHist.Observe(lat)
+				}
+				if r.tracer != nil {
+					r.tracer.Access(metrics.AccessEvent{
+						ArriveMS: start, DoneMS: r.eng.Now(),
+						Read: op.Read, Unit: op.Unit, Count: op.Count,
+					})
+				}
 				if r.capture != nil {
 					r.capture.Add(trace.Record{ArriveMS: start, DoneMS: r.eng.Now(), Op: op})
 				}
@@ -223,6 +395,8 @@ func (r *runner) metrics() Metrics {
 		P90ResponseMS:  r.resp.Percentile(90),
 		Requests:       r.resp.N(),
 		Alpha:          r.arr.Layout().Alpha(),
+		SimEndMS:       r.eng.Now(),
+		EngineEvents:   r.eng.Fired(),
 	}
 }
 
@@ -255,6 +429,7 @@ func RunDegraded(cfg SimConfig) (Metrics, error) {
 func (r *runner) timedWindow(cfg SimConfig) (Metrics, error) {
 	r.from = cfg.WarmupMS
 	r.to = cfg.WarmupMS + cfg.MeasureMS
+	r.startSampling()
 	r.pump()
 	r.eng.RunUntil(r.to)
 	r.stopped = true
@@ -262,6 +437,7 @@ func (r *runner) timedWindow(cfg SimConfig) (Metrics, error) {
 	if err := r.arr.CheckConsistency(); err != nil {
 		return Metrics{}, fmt.Errorf("core: post-run consistency check: %w", err)
 	}
+	r.exportFinal()
 	return r.metrics(), nil
 }
 
@@ -285,6 +461,7 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 		}
 	}
 	r.from = cfg.WarmupMS
+	r.startSampling()
 	r.pump()
 	r.eng.RunUntil(cfg.WarmupMS)
 
@@ -295,6 +472,7 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	r.startProgress(cfg)
 	r.eng.Run()
 	if r.arr.Degraded() && !r.arr.Spared() {
 		return Metrics{}, fmt.Errorf("core: reconstruction did not complete")
@@ -302,6 +480,7 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 	if err := r.arr.CheckConsistency(); err != nil {
 		return Metrics{}, fmt.Errorf("core: post-reconstruction consistency check: %w", err)
 	}
+	r.exportFinal()
 	m := r.metrics()
 	m.ReconTimeMS = r.arr.ReconTimeMS()
 	m.ReconCycles = r.arr.ReconCycles()
@@ -310,6 +489,43 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 	m.WritePhaseMeanMS = r.arr.WritePhase().Mean()
 	m.WritePhaseStdMS = r.arr.WritePhase().Std()
 	return m, nil
+}
+
+// startProgress schedules periodic reconstruction progress reports on a
+// sim-time cadence. The ticker reads state only and stops itself once
+// reconstruction completes, so enabling it never changes results. The
+// final report (DoneUnits == TotalUnits) is delivered from the engine's
+// drain phase.
+func (r *runner) startProgress(cfg SimConfig) {
+	if cfg.OnProgress == nil {
+		return
+	}
+	every := cfg.ProgressEveryMS
+	if every <= 0 {
+		every = 1000
+	}
+	report := func() {
+		done, total := r.arr.ReconProgress()
+		elapsed := r.eng.Now() - r.arr.ReconStartMS()
+		eta := 0.0
+		if done > 0 && elapsed > 0 {
+			eta = elapsed / float64(done) * float64(total-done)
+		}
+		cfg.OnProgress(Progress{
+			SimMS: r.eng.Now(), DoneUnits: done, TotalUnits: total,
+			ETAMS: eta, EventsFired: r.eng.Fired(),
+		})
+	}
+	var tick func()
+	tick = func() {
+		if !r.arr.Reconstructing() {
+			report() // final 100% report
+			return
+		}
+		report()
+		r.eng.Schedule(every, tick)
+	}
+	r.eng.Schedule(every, tick)
 }
 
 // ReconCyclePhases reruns a reconstruction like RunReconstruction but

@@ -36,6 +36,7 @@ type Stats struct {
 	TransferMS   float64 // portion spent transferring
 	QueueMS      float64 // total time requests waited in queue
 	MaxQueueLen  int
+	SeekCyls     int64 // total cylinders traveled to reach request starts
 }
 
 // Disk is a single simulated drive attached to an event engine. It services
@@ -124,17 +125,18 @@ func (d *Disk) startNext() {
 	d.stats.TransferMS += br.transfer
 	d.stats.BusyMS += finish - start
 	d.headCyl = endCyl
+	tgt := d.geom.Locate(r.Start)
+	dist := tgt.Cyl - startCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	d.stats.SeekCyls += int64(dist)
 
 	d.eng.At(finish, func() {
 		d.busy = false
 		d.stats.Completed++
 		d.stats.SectorsMoved += int64(r.Count)
 		if d.observer != nil {
-			tgt := d.geom.Locate(r.Start)
-			dist := tgt.Cyl - startCyl
-			if dist < 0 {
-				dist = -dist
-			}
 			d.observer(Event{
 				QueuedAt: r.queuedAt, Start: start, Finish: finish,
 				Cyl: tgt.Cyl, SeekDist: dist,

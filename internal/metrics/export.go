@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Instrument names may carry Prometheus-style labels inline, e.g.
+// `disk_busy_ms{disk="3"}`. splitName separates the base name from the
+// label block so exporters can merge extra labels (histogram `le`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// fmtFloat renders a float the same way on every run and platform.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus emits every counter, gauge and histogram in the
+// Prometheus text exposition style, sorted by name: deterministic output
+// for deterministic input. Series are not included; see WriteCSV.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastType := ""
+	header := func(base, typ string) {
+		key := typ + " " + base
+		if key != lastType {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, typ)
+			lastType = key
+		}
+	}
+	for _, name := range sortedKeys(r.counters) {
+		base, _ := splitName(name)
+		header(base, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, r.counters[name].n)
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		base, _ := splitName(name)
+		header(base, "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, fmtFloat(r.gauges[name].v))
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		base, labels := splitName(name)
+		header(base, "histogram")
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		var cum int64
+		ub := h.base
+		for i, c := range h.counts {
+			cum += c
+			le := fmtFloat(ub)
+			if i == len(h.counts)-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(bw, "%s_bucket{%s%sle=%q} %d\n", base, labels, sep, le, cum)
+			ub *= h.growth
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", base, suffix, fmtFloat(h.sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, suffix, h.count)
+		if h.count > 0 {
+			fmt.Fprintf(bw, "%s_min%s %s\n", base, suffix, fmtFloat(h.min))
+			fmt.Fprintf(bw, "%s_max%s %s\n", base, suffix, fmtFloat(h.max))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV emits every time series in long form — `series,t_ms,value` —
+// sorted by series name, samples in observation order.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "series,t_ms,value"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		field := name
+		if strings.ContainsAny(name, ",\"") {
+			field = `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+		}
+		for i := range s.ts {
+			fmt.Fprintf(bw, "%s,%s,%s\n", field, fmtFloat(s.ts[i]), fmtFloat(s.vs[i]))
+		}
+	}
+	return bw.Flush()
+}

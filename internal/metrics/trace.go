@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Event kinds emitted by the simulator.
+const (
+	EvAccess     = "access"      // one user access, arrival → completion
+	EvDisk       = "disk"        // one disk request, queue → service → done
+	EvReconStart = "recon_start" // reconstruction sweep began
+	EvReconCycle = "recon_cycle" // one reconstruction cycle finished
+	EvReconDone  = "recon_done"  // every lost unit is live again
+)
+
+// AccessEvent records one user access's lifecycle.
+type AccessEvent struct {
+	Ev       string  `json:"ev"` // EvAccess
+	ArriveMS float64 `json:"arrive_ms"`
+	DoneMS   float64 `json:"done_ms"`
+	Read     bool    `json:"read"`
+	Unit     int64   `json:"unit"`
+	Count    int     `json:"count"`
+}
+
+// DiskEvent records one disk request's lifecycle: time in queue is
+// StartMS−QueuedMS, service time is DoneMS−StartMS.
+type DiskEvent struct {
+	Ev       string  `json:"ev"` // EvDisk
+	Disk     int     `json:"disk"`
+	QueuedMS float64 `json:"queued_ms"`
+	StartMS  float64 `json:"start_ms"`
+	DoneMS   float64 `json:"done_ms"`
+	Write    bool    `json:"write"`
+	Sectors  int     `json:"sectors"`
+	SeekCyls int     `json:"seek_cyls"`
+	Priority int     `json:"prio"`
+}
+
+// ReconEvent records reconstruction lifecycle milestones. For
+// EvReconCycle, ReadMS/WriteMS are the cycle's two phase durations and
+// Offset the reconstructed unit; for EvReconStart/EvReconDone they are
+// zero.
+type ReconEvent struct {
+	Ev         string  `json:"ev"`
+	TMS        float64 `json:"t_ms"`
+	Offset     int64   `json:"offset"`
+	DoneUnits  int64   `json:"done_units"`
+	TotalUnits int64   `json:"total_units"`
+	ReadMS     float64 `json:"read_ms"`
+	WriteMS    float64 `json:"write_ms"`
+}
+
+// Tracer receives structured simulation events. Implementations must not
+// perturb the simulation: they are called off the timing path. The
+// simulator guards every call site with a nil check, so a nil Tracer is
+// the zero-cost default.
+type Tracer interface {
+	Access(e AccessEvent)
+	Disk(e DiskEvent)
+	Recon(e ReconEvent)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Access implements Tracer.
+func (Nop) Access(AccessEvent) {}
+
+// Disk implements Tracer.
+func (Nop) Disk(DiskEvent) {}
+
+// Recon implements Tracer.
+func (Nop) Recon(ReconEvent) {}
+
+// JSONL writes each event as one JSON object per line, in emission order:
+// deterministic for a deterministic simulation. Call Flush before reading
+// the destination.
+type JSONL struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a tracer writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{bw: bufio.NewWriter(w)} }
+
+func (j *JSONL) emit(v any) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.bw.WriteByte('\n')
+}
+
+// Access implements Tracer.
+func (j *JSONL) Access(e AccessEvent) { e.Ev = EvAccess; j.emit(e) }
+
+// Disk implements Tracer.
+func (j *JSONL) Disk(e DiskEvent) { e.Ev = EvDisk; j.emit(e) }
+
+// Recon implements Tracer. The event's Ev field must already name a
+// reconstruction milestone (EvReconStart, EvReconCycle, EvReconDone).
+func (j *JSONL) Recon(e ReconEvent) { j.emit(e) }
+
+// Flush drains the buffer and reports the first error encountered by any
+// emission.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}

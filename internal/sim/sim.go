@@ -29,6 +29,7 @@ func (e *Event) Time() float64 { return e.time }
 type Engine struct {
 	now    float64
 	seq    uint64
+	fired  uint64
 	queue  eventHeap
 	nowset bool
 }
@@ -75,6 +76,15 @@ func (e *Engine) Cancel(ev *Event) {
 // Pending reports the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Scheduled returns the total number of events ever scheduled, canceled
+// or not.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// Fired returns the total number of events fired. The ratio of Fired to
+// wall-clock time is the engine's throughput, the headline number for
+// simulator performance work.
+func (e *Engine) Fired() uint64 { return e.fired }
+
 // Step fires the single next event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
@@ -84,6 +94,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.time
+		e.fired++
 		ev.fn()
 		return true
 	}

@@ -61,16 +61,17 @@ func (w *Welford) String() string {
 }
 
 // Sample retains observations for percentile queries. The zero value is
-// ready to use.
+// ready to use. xs stays in insertion order so Tail sees the most recent
+// observations; percentile queries sort a cached copy instead.
 type Sample struct {
 	xs     []float64
-	sorted bool
+	sorted []float64 // cached sort of xs; nil when stale
 }
 
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // N returns the number of observations.
@@ -108,23 +109,24 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.xs...)
+		sort.Float64s(s.sorted)
 	}
+	xs := s.sorted
 	if p <= 0 {
-		return s.xs[0]
+		return xs[0]
 	}
 	if p >= 100 {
-		return s.xs[len(s.xs)-1]
+		return xs[len(xs)-1]
 	}
-	rank := p / 100 * float64(len(s.xs)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(rank)
 	frac := rank - float64(lo)
-	if lo+1 >= len(s.xs) {
-		return s.xs[len(s.xs)-1]
+	if lo+1 >= len(xs) {
+		return xs[len(xs)-1]
 	}
-	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
 }
 
 // Tail returns a Welford over the last k observations (all if k >= N);

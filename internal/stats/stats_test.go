@@ -113,3 +113,30 @@ func TestTail(t *testing.T) {
 		t.Fatal("tail larger than sample should cover all")
 	}
 }
+
+// Regression: Percentile used to sort xs in place, so a prior percentile
+// query turned Tail(k) ("last k observations") into "largest k".
+func TestSampleTailAfterPercentile(t *testing.T) {
+	var s Sample
+	// Descending insertion order: the last 3 are the 3 smallest, so an
+	// in-place sort would flip Tail's answer completely.
+	for _, x := range []float64{9, 8, 7, 6, 5, 4, 3, 2, 1} {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("Percentile(50) = %v, want 5", got)
+	}
+	tail := s.Tail(3)
+	if tail.Mean() != 2 || tail.Min() != 1 || tail.Max() != 3 {
+		t.Fatalf("Tail(3) after Percentile = mean %v min %v max %v, want last-3 (mean 2, min 1, max 3)",
+			tail.Mean(), tail.Min(), tail.Max())
+	}
+	// The sorted cache must invalidate on Add.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("Percentile(0) after Add = %v, want 0", got)
+	}
+	if tail := s.Tail(2); tail.Max() != 1 || tail.Min() != 0 {
+		t.Fatalf("Tail(2) = [%v,%v], want last-2 {1,0}", tail.Min(), tail.Max())
+	}
+}
