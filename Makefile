@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench vet fmt-check verify clean
+.PHONY: all build test race bench-smoke bench vet fmt-check fault-smoke verify clean
 
 all: build
 
@@ -30,9 +30,17 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Focused race pass over the fault-injection stack (injector, array error
+# paths, scrubbing, checkpoint/restart), then a short end-to-end lifecycle
+# run with media faults enabled: random disk failures, latent sector
+# errors, transient timeouts, scrubbing, and true double failures.
+fault-smoke:
+	$(GO) test -race ./internal/fault/... ./internal/array/...
+	$(GO) run ./examples/continuous
+
 # The full pre-merge gate: formatting, static checks, build, the race-able
-# test suite, and a benchmark smoke pass.
-verify: fmt-check vet build race bench-smoke
+# test suite, the fault-injection smoke, and a benchmark smoke pass.
+verify: fmt-check vet build race fault-smoke bench-smoke
 	@echo "verify: OK"
 
 clean:

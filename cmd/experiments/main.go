@@ -10,7 +10,7 @@
 //
 // Experiments: fig4-3, fig6-1, fig6-2, fig8 (8-1..8-4), table8-1, fig8-6,
 // ext-throttle, ext-priority, ext-mttdl, ext-datamap, ext-mirror,
-// ext-sparing, ext-unitsize, ext-skew.
+// ext-sparing, ext-unitsize, ext-skew, double-failure.
 package main
 
 import (
@@ -119,6 +119,11 @@ func main() {
 	}
 	if selected("ext-skew") {
 		_, t, err := experiments.ExtSkew(o, 5)
+		check(err)
+		emit(t)
+	}
+	if selected("double-failure") {
+		_, t, err := experiments.DoubleFailureLoss(o)
 		check(err)
 		emit(t)
 	}

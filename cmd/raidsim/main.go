@@ -7,6 +7,11 @@
 //	raidsim -mode faultfree -g 21 -rate 378 -reads 1
 //	raidsim -mode degraded -g 10 -rate 105 -reads 0 -scale 10
 //
+// Fault injection:
+//
+//	raidsim -mode recon -lse-rate 1000 -transient-rate 0.01 -scrub-interval 50 -fault-seed 7
+//	raidsim -second-failure -g 5        # enumerate double-failure damage, no simulation
+//
 // Observability:
 //
 //	raidsim -mode recon -metrics out.txt -series out.csv -events ev.jsonl -progress
@@ -28,32 +33,56 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "recon", "faultfree | degraded | recon")
-	c := flag.Int("c", 21, "number of disks")
-	g := flag.Int("g", 5, "parity stripe size (g = c selects RAID 5)")
-	rate := flag.Float64("rate", 210, "user accesses per second")
-	reads := flag.Float64("reads", 0.5, "fraction of user accesses that are reads")
-	alg := flag.String("alg", "baseline", "baseline | user-writes | redirect | piggyback")
-	procs := flag.Int("procs", 1, "parallel reconstruction processes")
-	scale := flag.Int("scale", 1, "disk capacity divisor (1 = full IBM 0661)")
-	seed := flag.Int64("seed", 1, "workload seed")
-	warm := flag.Float64("warmup", 10, "warmup seconds before measurement")
-	measure := flag.Float64("measure", 120, "measurement seconds (faultfree/degraded)")
-	throttle := flag.Float64("throttle", 0, "max reconstruction cycles/s per process (0 = off)")
-	lowprio := flag.Bool("lowprio", false, "schedule reconstruction below user accesses")
-	size := flag.Int("size", 1, "access size in 4 KB stripe units")
-	sparing := flag.Bool("sparing", false, "distributed sparing: reconstruct into per-stripe spare units")
-	datamap := flag.String("datamap", "stripe-index", "data mapping: stripe-index | parallel")
-	traceOut := flag.String("trace", "", "write the measured user accesses to this trace file")
-	replayIn := flag.String("replay", "", "replay a trace file instead of the synthetic workload")
-	metricsOut := flag.String("metrics", "", "write Prometheus-style metrics to this file")
-	seriesOut := flag.String("series", "", "write per-disk time-series CSV to this file")
-	eventsOut := flag.String("events", "", "write a JSONL event trace (accesses, disk requests, recon cycles) to this file")
-	sampleMS := flag.Float64("sample", 1000, "time-series cadence in simulated ms (with -series)")
-	progress := flag.Bool("progress", false, "print reconstruction progress lines to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "raidsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one raidsim invocation, printing results to stdout and
+// progress/usage to stderr. Factored from main so tests can drive the
+// whole command and compare outputs byte for byte.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("raidsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "recon", "faultfree | degraded | recon")
+	c := fs.Int("c", 21, "number of disks")
+	g := fs.Int("g", 5, "parity stripe size (g = c selects RAID 5)")
+	rate := fs.Float64("rate", 210, "user accesses per second")
+	reads := fs.Float64("reads", 0.5, "fraction of user accesses that are reads")
+	alg := fs.String("alg", "baseline", "baseline | user-writes | redirect | piggyback")
+	procs := fs.Int("procs", 1, "parallel reconstruction processes")
+	scale := fs.Int("scale", 1, "disk capacity divisor (1 = full IBM 0661)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	warm := fs.Float64("warmup", 10, "warmup seconds before measurement")
+	measure := fs.Float64("measure", 120, "measurement seconds (faultfree/degraded)")
+	throttle := fs.Float64("throttle", 0, "max reconstruction cycles/s per process (0 = off)")
+	lowprio := fs.Bool("lowprio", false, "schedule reconstruction below user accesses")
+	size := fs.Int("size", 1, "access size in 4 KB stripe units")
+	sparing := fs.Bool("sparing", false, "distributed sparing: reconstruct into per-stripe spare units")
+	datamap := fs.String("datamap", "stripe-index", "data mapping: stripe-index | parallel")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injector seed (independent of -seed)")
+	lseRate := fs.Float64("lse-rate", 0, "latent sector errors per GB per simulated hour (0 = off)")
+	transientRate := fs.Float64("transient-rate", 0, "per-request timeout probability in [0, 0.9] (0 = off)")
+	timeoutMS := fs.Float64("timeout-ms", 0, "stall per transient timeout in simulated ms (0 = 50)")
+	scrubInterval := fs.Float64("scrub-interval", 0, "simulated ms between scrubbed stripes (0 = no scrubbing)")
+	secondFailure := fs.Bool("second-failure", false, "enumerate double-failure damage for this layout and exit (no simulation)")
+	traceOut := fs.String("trace", "", "write the measured user accesses to this trace file")
+	replayIn := fs.String("replay", "", "replay a trace file instead of the synthetic workload")
+	metricsOut := fs.String("metrics", "", "write Prometheus-style metrics to this file")
+	seriesOut := fs.String("series", "", "write per-disk time-series CSV to this file")
+	eventsOut := fs.String("events", "", "write a JSONL event trace (accesses, disk requests, recon cycles, faults) to this file")
+	sampleMS := fs.Float64("sample", 1000, "time-series cadence in simulated ms (with -series)")
+	progress := fs.Bool("progress", false, "print reconstruction progress lines to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *secondFailure {
+		return reportSecondFailure(stdout, *c, *g, *scale)
+	}
 
 	algorithm := map[string]declust.ReconAlgorithm{
 		"baseline":    declust.Baseline,
@@ -78,15 +107,22 @@ func main() {
 		DistributedSparing:        *sparing,
 		ReconThrottleCyclesPerSec: *throttle,
 		ReconLowPriority:          *lowprio,
+
+		FaultSeed:        *faultSeed,
+		LSERatePerGBHour: *lseRate,
+		TransientRate:    *transientRate,
+		FaultTimeoutMS:   *timeoutMS,
+		ScrubIntervalMS:  *scrubInterval,
 	}
+	faultsOn := *lseRate > 0 || *transientRate > 0 || *scrubInterval > 0
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
@@ -100,22 +136,16 @@ func main() {
 			cfg.SampleEveryMS = *sampleMS
 		}
 	}
-	var events *os.File
 	if *eventsOut != "" {
 		f, err := os.Create(*eventsOut)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		events = f
 		jl := declust.NewJSONLTracer(f)
 		cfg.Tracer = jl
 		defer func() {
-			if err := jl.Flush(); err != nil {
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
-				fail(err)
-			}
+			jl.Flush()
+			f.Close()
 		}()
 	}
 	if *progress {
@@ -132,7 +162,7 @@ func main() {
 				pct = 100 * float64(p.DoneUnits) / float64(p.TotalUnits)
 			}
 			rate := float64(p.EventsFired) / time.Since(wallStart).Seconds()
-			fmt.Fprintf(os.Stderr, "recon %5.1f%% (%d/%d units)  sim %.1fs  ETA %.1fs  [%.2fM events/s]\n",
+			fmt.Fprintf(stderr, "recon %5.1f%% (%d/%d units)  sim %.1fs  ETA %.1fs  [%.2fM events/s]\n",
 				pct, p.DoneUnits, p.TotalUnits, p.SimMS/1000, p.ETAMS/1000, rate/1e6)
 		}
 	}
@@ -144,27 +174,31 @@ func main() {
 	if *replayIn != "" {
 		f, err := os.Open(*replayIn)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		log, err := trace.Read(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		rep, err := trace.NewReplayer(log)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		cfg.Source = rep
-		fmt.Printf("replaying %d recorded accesses from %s\n", log.Len(), *replayIn)
+		fmt.Fprintf(stdout, "replaying %d recorded accesses from %s\n", log.Len(), *replayIn)
 	}
 
 	m, err := declust.NewMapping(*c, *g, 0)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Println("array:    ", m.Describe())
-	fmt.Printf("workload:  %.0f accesses/s, %.0f%% reads, seed %d\n", *rate, *reads*100, *seed)
+	fmt.Fprintln(stdout, "array:    ", m.Describe())
+	fmt.Fprintf(stdout, "workload:  %.0f accesses/s, %.0f%% reads, seed %d\n", *rate, *reads*100, *seed)
+	if faultsOn {
+		fmt.Fprintf(stdout, "faults:    lse %.3g/GB/h, transient %.3g, scrub every %.0f ms, seed %d\n",
+			*lseRate, *transientRate, *scrubInterval, *faultSeed)
+	}
 
 	wallStart := time.Now()
 	var res declust.Metrics
@@ -174,85 +208,126 @@ func main() {
 	case "degraded":
 		res, err = declust.RunDegraded(cfg)
 	case "recon":
-		fmt.Printf("recovery:  %s algorithm, %d process(es)\n", algorithm, *procs)
+		fmt.Fprintf(stdout, "recovery:  %s algorithm, %d process(es)\n", algorithm, *procs)
 		res, err = declust.RunReconstruction(cfg)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 	wall := time.Since(wallStart)
 
-	fmt.Println()
-	fmt.Printf("user response:  mean %.1f ms, σ %.1f ms, P90 %.1f ms (%d requests)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "user response:  mean %.1f ms, σ %.1f ms, P90 %.1f ms (%d requests)\n",
 		res.MeanResponseMS, res.StdResponseMS, res.P90ResponseMS, res.Requests)
 	if *mode == "recon" {
-		fmt.Printf("reconstruction: %.1f minutes (%.0f ms), %d sweep cycles\n",
+		fmt.Fprintf(stdout, "reconstruction: %.1f minutes (%.0f ms), %d sweep cycles\n",
 			res.ReconTimeMS/60_000, res.ReconTimeMS, res.ReconCycles)
-		fmt.Printf("recon cycle:    read %.1f ms (σ %.1f) + write %.1f ms (σ %.1f)\n",
+		fmt.Fprintf(stdout, "recon cycle:    read %.1f ms (σ %.1f) + write %.1f ms (σ %.1f)\n",
 			res.ReadPhaseMeanMS, res.ReadPhaseStdMS, res.WritePhaseMeanMS, res.WritePhaseStdMS)
 	}
-	fmt.Printf("engine:         %d events, sim %.1fs in wall %.2fs (%.2fM events/s)\n",
+	if faultsOn {
+		fmt.Fprintf(stdout, "faults:         %d LSEs injected, %d media errors, %d retries\n",
+			res.LSEArrivals, res.MediaErrors, res.TransientRetries)
+		fmt.Fprintf(stdout, "repairs:        %d from parity, %d units lost (%d loss events), scrub found %d in %d passes\n",
+			res.LatentRepairs, res.LostUnits, res.DataLossEvents, res.ScrubErrorsFound, res.ScrubPasses)
+	}
+	fmt.Fprintf(stdout, "engine:         %d events, sim %.1fs in wall %.2fs (%.2fM events/s)\n",
 		res.EngineEvents, res.SimEndMS/1000, wall.Seconds(),
 		float64(res.EngineEvents)/wall.Seconds()/1e6)
 
 	if *metricsOut != "" {
-		writeFile(*metricsOut, reg.WritePrometheus)
-		fmt.Printf("metrics:        written to %s\n", *metricsOut)
+		if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics:        written to %s\n", *metricsOut)
 	}
 	if *seriesOut != "" {
-		writeFile(*seriesOut, reg.WriteCSV)
-		fmt.Printf("series:         written to %s\n", *seriesOut)
+		if err := writeFile(*seriesOut, reg.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "series:         written to %s\n", *seriesOut)
 	}
-	if events != nil {
-		fmt.Printf("events:         written to %s\n", *eventsOut)
+	if *eventsOut != "" {
+		fmt.Fprintf(stdout, "events:         written to %s\n", *eventsOut)
 	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if _, err := captured.WriteTo(f); err != nil {
-			fail(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("trace:          %d accesses written to %s\n", captured.Len(), *traceOut)
+		fmt.Fprintf(stdout, "trace:          %d accesses written to %s\n", captured.Len(), *traceOut)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
 	}
+	return nil
+}
+
+// reportSecondFailure prints the damage enumeration for a second
+// whole-disk failure at the worst moment (first failure fully unrecovered):
+// the paper's partial-loss advantage, computed without simulating a single
+// I/O.
+func reportSecondFailure(stdout io.Writer, c, g, scale int) error {
+	m, err := declust.NewMapping(c, g, 0)
+	if err != nil {
+		return err
+	}
+	arr, err := declust.NewIdleArray(m, scale)
+	if err != nil {
+		return err
+	}
+	if err := arr.Fail(0); err != nil {
+		return err
+	}
+	df, err := arr.SecondFail(1)
+	if err != nil {
+		return err
+	}
+	frac := 0.0
+	if df.StripesAtRisk > 0 {
+		frac = float64(df.StripesLost) / float64(df.StripesAtRisk)
+	}
+	fmt.Fprintln(stdout, "array:    ", m.Describe())
+	fmt.Fprintf(stdout, "second failure (disk 1 dies with disk 0 unrecovered):\n")
+	fmt.Fprintf(stdout, "  stripes at risk: %d\n", df.StripesAtRisk)
+	fmt.Fprintf(stdout, "  stripes lost:    %d (fraction %.3f, α = %.3f)\n", df.StripesLost, frac, m.Alpha())
+	fmt.Fprintf(stdout, "  units lost:      %d\n", df.UnitsLost)
+	if g == c {
+		fmt.Fprintln(stdout, "  RAID 5: every at-risk stripe has units on both disks — total loss.")
+	} else {
+		fmt.Fprintln(stdout, "  declustering loses only the stripes with units on both failed disks.")
+	}
+	return nil
 }
 
 // writeFile writes one export to path via the given emitter.
-func writeFile(path string, emit func(w io.Writer) error) {
+func writeFile(path string, emit func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := emit(f); err != nil {
-		fail(err)
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fail(err)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "raidsim:", err)
-	os.Exit(1)
+	return f.Close()
 }

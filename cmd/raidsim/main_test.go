@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stripWallClock drops the one output line whose content depends on
+// wall-clock time (events/s throughput).
+func stripWallClock(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "wall") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestGoldenDeterminism runs the full command twice with every fault
+// process enabled and requires byte-identical results: same stdout (modulo
+// the wall-clock line), same Prometheus export, same JSONL event trace.
+func TestGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	invoke := func(tag string) (string, []byte, []byte) {
+		metrics := filepath.Join(dir, tag+".prom")
+		events := filepath.Join(dir, tag+".jsonl")
+		args := []string{
+			"-mode", "recon", "-c", "21", "-g", "5", "-scale", "50",
+			"-rate", "105", "-reads", "0.5", "-procs", "4",
+			"-warmup", "2", "-measure", "10",
+			"-fault-seed", "7", "-lse-rate", "100000",
+			"-transient-rate", "0.02", "-scrub-interval", "20",
+			"-metrics", metrics, "-events", events,
+		}
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run %s: %v\nstderr: %s", tag, err, errb.String())
+		}
+		prom, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := os.ReadFile(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The export lines name their output files; normalize the paths.
+		stdout := strings.ReplaceAll(out.String(), tag+".prom", "OUT.prom")
+		stdout = strings.ReplaceAll(stdout, tag+".jsonl", "OUT.jsonl")
+		return stripWallClock(stdout), prom, ev
+	}
+	out1, prom1, ev1 := invoke("a")
+	out2, prom2, ev2 := invoke("b")
+	if out1 != out2 {
+		t.Errorf("stdout differs between identical runs:\n--- a ---\n%s\n--- b ---\n%s", out1, out2)
+	}
+	if !bytes.Equal(prom1, prom2) {
+		t.Error("Prometheus exports differ between identical runs")
+	}
+	if !bytes.Equal(ev1, ev2) {
+		t.Error("JSONL event traces differ between identical runs")
+	}
+	if len(ev1) == 0 {
+		t.Error("event trace empty despite tracer enabled")
+	}
+	for _, want := range []string{"faults:", "repairs:", "LSEs injected"} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("fault summary missing %q in output:\n%s", want, out1)
+		}
+	}
+}
+
+// TestSecondFailureReport checks the enumeration mode: declustered layouts
+// report a lost fraction near α, RAID 5 reports total loss, and the output
+// is deterministic (pure enumeration, no simulation).
+func TestSecondFailureReport(t *testing.T) {
+	var declustered bytes.Buffer
+	if err := run([]string{"-second-failure", "-g", "5", "-scale", "50"}, &declustered, &declustered); err != nil {
+		t.Fatal(err)
+	}
+	out := declustered.String()
+	if !strings.Contains(out, "α = 0.200") {
+		t.Errorf("missing α in declustered report:\n%s", out)
+	}
+	if !strings.Contains(out, "fraction 0.200") {
+		t.Errorf("declustered lost fraction not 0.200:\n%s", out)
+	}
+
+	var raid5 bytes.Buffer
+	if err := run([]string{"-second-failure", "-g", "21", "-scale", "50"}, &raid5, &raid5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raid5.String(), "fraction 1.000") {
+		t.Errorf("RAID 5 did not lose everything:\n%s", raid5.String())
+	}
+
+	var again bytes.Buffer
+	if err := run([]string{"-second-failure", "-g", "5", "-scale", "50"}, &again, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("second-failure report not deterministic")
+	}
+}
+
+// TestDormantFaultFlagsPrintNoFaultSummary keeps the default output free
+// of fault lines so existing tooling parsing raidsim output is unaffected.
+func TestDormantFaultFlagsPrintNoFaultSummary(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-mode", "faultfree", "-scale", "50", "-warmup", "1", "-measure", "5"}
+	if err := run(args, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "faults:") {
+		t.Errorf("fault summary printed without fault flags:\n%s", out.String())
+	}
+}

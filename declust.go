@@ -43,6 +43,7 @@ import (
 	"declust/internal/disk"
 	"declust/internal/layout"
 	"declust/internal/metrics"
+	"declust/internal/sim"
 	"declust/internal/trace"
 	"io"
 )
@@ -197,4 +198,45 @@ func SelectDesign(c, g, maxTuples int) (*Design, bool, error) {
 		return nil, false, err
 	}
 	return sel.Design, sel.Exact, nil
+}
+
+// Array is the simulated redundant disk array itself; most users drive it
+// through the Run* functions, but fault experiments (SecondFail,
+// FailReplacement, StartScrub) operate on it directly.
+type Array = array.Array
+
+// DataLossEvent records one stripe losing more units than single-failure
+// redundancy can rebuild.
+type DataLossEvent = array.DataLossEvent
+
+// DoubleFailure summarizes a second whole-disk failure while degraded:
+// declustering loses only the fraction α of the at-risk stripes, RAID 5
+// loses them all.
+type DoubleFailure = array.DoubleFailure
+
+// FaultStats counts the array driver's fault handling (retries, media
+// errors, repairs, lost units).
+type FaultStats = array.FaultStats
+
+// ScrubStats counts background scrubber activity.
+type ScrubStats = array.ScrubStats
+
+// LifecycleReport fault fields and SimConfig fault fields (FaultSeed,
+// LSERatePerGBHour, TransientRate, ScrubIntervalMS) drive the injector in
+// internal/fault; see also cmd/raidsim's -lse-rate family of flags.
+
+// NewIdleArray builds an array for enumeration-style analyses — no
+// workload runs and no simulated time passes. scale divides the IBM 0661
+// capacity (1 = full size).
+func NewIdleArray(m *Mapping, scale int) (*Array, error) {
+	geom := disk.IBM0661()
+	if scale > 1 {
+		geom = geom.Scaled(1, scale)
+	}
+	return array.New(sim.New(), array.Config{
+		Layout:      m.Layout,
+		Geom:        geom,
+		UnitSectors: 8,
+		CvscanBias:  0.2,
+	})
 }

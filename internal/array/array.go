@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"declust/internal/disk"
+	"declust/internal/fault"
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/sim"
@@ -90,6 +91,12 @@ type Config struct {
 	// replacement disk. Requires a Layout implementing
 	// layout.SpareLayout (see layout.NewSpared).
 	DistributedSparing bool
+	// Faults, when non-nil, injects latent sector errors and transient
+	// timeouts into every drive (including replacements installed later).
+	// Nil leaves the drives perfect: no hook is installed, no random
+	// draw ever happens, and the simulation is byte-identical to one
+	// built without fault support.
+	Faults *fault.Injector
 	// Metrics, when non-nil, receives operation counters (user
 	// reads/writes, on-the-fly reconstructions, reconstruction cycles).
 	// Nil disables them at zero cost on the I/O paths.
@@ -126,7 +133,9 @@ type Array struct {
 	expected []uint64
 	writeSeq uint64
 
-	// Reconstruction bookkeeping.
+	// Reconstruction bookkeeping. reconEpoch distinguishes reconstruction
+	// runs: every deferred continuation captures the epoch at issue and
+	// quietly dies if an abort (or completion) bumped it meanwhile.
 	reconActive    bool
 	reconRemaining int64
 	reconTotal     int64
@@ -134,11 +143,22 @@ type Array struct {
 	reconStartMS   float64
 	reconEndMS     float64
 	reconProcsLive int
+	reconEpoch     int
 	reconOnDone    func()
 	reconCycles    int64
 	reconReads     []int64 // per-disk survivor units read by the sweep
 	readPhase      stats.Sample
 	writePhase     stats.Sample
+
+	// Fault handling (see faults.go, scrub.go).
+	fstats         FaultStats
+	lossEvents     []DataLossEvent
+	doubleFailures []DoubleFailure
+	scrubOn        bool
+	scrubEv        *sim.Event
+	scrubCursor    int64
+	scrubSpacing   float64
+	scrubStats     ScrubStats
 
 	// Instrumentation. The counters are nil (no-op) without a registry;
 	// tracer calls are guarded by nil checks.
@@ -148,6 +168,9 @@ type Array struct {
 	mUserWrites *metrics.Counter
 	mOTFRecons  *metrics.Counter
 	mReconCyc   *metrics.Counter
+	mRetries    *metrics.Counter
+	mRepairs    *metrics.Counter
+	mLostUnits  *metrics.Counter
 }
 
 // New builds a fault-free array and initializes contents and parity.
@@ -199,6 +222,13 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 		a.mUserWrites = reg.Counter("array_user_writes")
 		a.mOTFRecons = reg.Counter("array_onthefly_reconstructions")
 		a.mReconCyc = reg.Counter("array_recon_cycles")
+		if cfg.Faults != nil {
+			// Registered only with an injector so fault-free exports stay
+			// byte-identical to builds without fault support.
+			a.mRetries = reg.Counter("array_transient_retries")
+			a.mRepairs = reg.Counter("array_latent_repairs")
+			a.mLostUnits = reg.Counter("array_lost_units")
+		}
 	}
 	c := a.lay.Disks()
 	a.reconReads = make([]int64, c)
@@ -206,6 +236,9 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 	a.contents = make([][]uint64, c)
 	for i := range a.disks {
 		a.disks[i] = disk.New(eng, cfg.Geom, cfg.CvscanBias)
+		if cfg.Faults != nil {
+			a.disks[i].SetFaultHook(cfg.Faults.Hook(i), cfg.Faults.TimeoutMS())
+		}
 		a.contents[i] = make([]uint64, usable)
 	}
 	a.expected = make([]uint64, a.dataUnits)
@@ -324,14 +357,24 @@ func (a *Array) Replace() error {
 	if a.spareLay != nil {
 		return fmt.Errorf("array: distributed-sparing array reconstructs into spares; no replacement")
 	}
-	a.disks[a.failed] = disk.New(a.eng, a.cfg.Geom, a.cfg.CvscanBias)
-	if a.diskObs != nil {
-		slot := a.failed
-		a.disks[slot].SetObserver(func(e disk.Event) { a.diskObs(slot, e) })
-	}
-	a.contents[a.failed] = make([]uint64, a.unitsPerDisk)
+	a.installDisk(a.failed)
 	a.replacement = true
 	return nil
+}
+
+// installDisk puts a factory-fresh drive in a slot, re-applying the
+// observer and fault hook and clearing the modeled contents and any latent
+// sector errors the old platters carried.
+func (a *Array) installDisk(slot int) {
+	a.disks[slot] = disk.New(a.eng, a.cfg.Geom, a.cfg.CvscanBias)
+	if a.diskObs != nil {
+		a.disks[slot].SetObserver(func(e disk.Event) { a.diskObs(slot, e) })
+	}
+	if a.cfg.Faults != nil {
+		a.disks[slot].SetFaultHook(a.cfg.Faults.Hook(slot), a.cfg.Faults.TimeoutMS())
+		a.cfg.Faults.ResetDisk(slot)
+	}
+	a.contents[slot] = make([]uint64, a.unitsPerDisk)
 }
 
 // Spared reports whether a distributed-sparing reconstruction has

@@ -1,0 +1,248 @@
+package array
+
+import (
+	"fmt"
+
+	"declust/internal/layout"
+	"declust/internal/metrics"
+)
+
+// FaultStats counts the array driver's fault handling.
+type FaultStats struct {
+	// Retries counts transient timeouts absorbed by backoff-and-retry.
+	Retries int64
+	// MediaErrors counts transfers that surfaced a latent sector error.
+	MediaErrors int64
+	// LatentRepairs counts units rebuilt from parity after a media error.
+	LatentRepairs int64
+	// LostUnits counts units the redundancy could not rebuild — real data
+	// loss, restored out of band so the simulation can continue.
+	LostUnits int64
+}
+
+// FaultStats returns a copy of the fault counters.
+func (a *Array) FaultStats() FaultStats { return a.fstats }
+
+// DataLossEvent records one stripe losing more units than single-failure
+// redundancy can rebuild: a media error on a survivor of a degraded
+// stripe, two media errors in one stripe, or (via SecondFail) a second
+// whole-disk failure.
+type DataLossEvent struct {
+	TMS    float64
+	Stripe int64
+	// Units are the unreadable stripe units at the time of loss.
+	Units []layout.Loc
+}
+
+// DataLosses returns a copy of the recorded per-stripe loss events.
+// Whole-disk double failures are summarized in DoubleFailures instead of
+// being expanded to one event per stripe.
+func (a *Array) DataLosses() []DataLossEvent {
+	out := make([]DataLossEvent, len(a.lossEvents))
+	copy(out, a.lossEvents)
+	return out
+}
+
+// recordLoss books units beyond redundancy's reach. The model's contents
+// are not erased — the continuation rewrites the units "from backup" — so
+// consistency checks stay meaningful while the loss is fully accounted.
+func (a *Array) recordLoss(stripe int64, units []layout.Loc) {
+	a.lossEvents = append(a.lossEvents, DataLossEvent{
+		TMS: a.eng.Now(), Stripe: stripe,
+		Units: append([]layout.Loc(nil), units...),
+	})
+	a.fstats.LostUnits += int64(len(units))
+	a.mLostUnits.Add(int64(len(units)))
+	if a.tracer != nil {
+		a.tracer.Fault(metrics.FaultEvent{
+			Ev: metrics.EvDataLoss, TMS: a.eng.Now(),
+			Stripe: stripe, LostUnits: len(units),
+		})
+	}
+}
+
+// repairThen continues an operation whose read phase may have surfaced
+// media errors: with none it continues immediately, otherwise it repairs
+// under the already-held stripe lock first.
+func (a *Array) repairThen(stripe int64, fails []xfer, prio int, cont func()) {
+	if len(fails) == 0 {
+		cont()
+		return
+	}
+	a.repairLocked(stripe, fails, prio, cont)
+}
+
+// repairLocked handles media-errored reads of one stripe, its lock held.
+// Each unreadable unit is classified: recoverable when every other unit of
+// the stripe is readable (parity rebuilds it), lost otherwise (the stripe
+// already had a dead unit, or two media errors struck it at once).
+// Recoverable units charge survivor reads plus a rewrite; lost units are
+// recorded as a DataLossEvent and restored out of band — a rewrite, as if
+// from backup — so the simulation, like the array operator, carries on.
+// The rewrite remaps the latent sectors either way. Media errors struck
+// during the repair's own survivor reads stay latent for the scrubber or
+// a later read to find.
+func (a *Array) repairLocked(stripe int64, fails []xfer, prio int, cont func()) {
+	bad := make(map[layout.Loc]bool, len(fails))
+	for _, x := range fails {
+		bad[x.loc] = true
+	}
+	g := a.lay.G()
+	var recov, lost []layout.Loc
+	for _, x := range fails {
+		recoverable := true
+		for j := 0; j < g; j++ {
+			u := a.lay.Unit(stripe, j)
+			if u == x.loc {
+				continue
+			}
+			if bad[u] || !a.available(u) {
+				recoverable = false
+				break
+			}
+		}
+		if recoverable {
+			recov = append(recov, x.loc)
+		} else {
+			lost = append(lost, x.loc)
+		}
+	}
+	if len(recov) > 0 {
+		a.fstats.LatentRepairs += int64(len(recov))
+		a.mRepairs.Add(int64(len(recov)))
+		if a.tracer != nil {
+			for _, b := range recov {
+				a.tracer.Fault(metrics.FaultEvent{
+					Ev: metrics.EvRepair, TMS: a.eng.Now(),
+					Disk: b.Disk, Stripe: stripe,
+				})
+			}
+		}
+	}
+	if len(lost) > 0 {
+		a.recordLoss(stripe, lost)
+	}
+	rewrite := func() {
+		a.io(writesOf(append(recov, lost...)), prio, func(_ []xfer) { cont() })
+	}
+	if len(recov) == 0 {
+		rewrite()
+		return
+	}
+	// One survivor pass feeds every recoverable rebuild.
+	var srcs []layout.Loc
+	for j := 0; j < g; j++ {
+		u := a.lay.Unit(stripe, j)
+		if !bad[u] && a.available(u) {
+			srcs = append(srcs, u)
+		}
+	}
+	if len(srcs) == 0 {
+		rewrite()
+		return
+	}
+	a.io(reads(srcs), prio, func(_ []xfer) { rewrite() })
+}
+
+// DoubleFailure summarizes a true second whole-disk failure while the
+// array is degraded: the event declustering's partial-loss advantage is
+// about. Declustering loses only the stripes with units on both failed
+// disks — the balance property makes that fraction of the at-risk stripes
+// exactly α = (G−1)/(C−1) — while RAID5 (G = C) loses every one.
+type DoubleFailure struct {
+	FirstDisk  int
+	SecondDisk int
+	TMS        float64
+	// StripesAtRisk counts stripes that still had an unrecovered unit of
+	// the first failure when the second disk died.
+	StripesAtRisk int64
+	// StripesLost and UnitsLost count stripes with two or more dead
+	// units, and those dead units — data no single-failure redundancy
+	// can rebuild.
+	StripesLost int64
+	UnitsLost   int64
+}
+
+// DoubleFailures returns a copy of the recorded second-failure events.
+func (a *Array) DoubleFailures() []DoubleFailure {
+	out := make([]DoubleFailure, len(a.doubleFailures))
+	copy(out, a.doubleFailures)
+	return out
+}
+
+// SecondFail models disk d dying while the array is already degraded. It
+// enumerates exactly which stripes lost two or more units — counting a
+// unit dead when it is unrecovered from the first failure or physically
+// lives on d (including reconstructed copies and spare units) — then
+// models an immediate out-of-band restore of d (its modeled contents were
+// never erased; its latent sectors are cleared), so the array returns to
+// single-failure mode and recovery continues. The damage report is
+// returned and retained (DoubleFailures, FaultStats.LostUnits).
+func (a *Array) SecondFail(d int) (DoubleFailure, error) {
+	if a.failed < 0 {
+		return DoubleFailure{}, fmt.Errorf("array: not degraded; use Fail for the first failure")
+	}
+	if d == a.failed {
+		return DoubleFailure{}, fmt.Errorf("array: disk %d is the already-failed disk", d)
+	}
+	if d < 0 || d >= len(a.disks) {
+		return DoubleFailure{}, fmt.Errorf("array: no disk %d", d)
+	}
+	df := DoubleFailure{FirstDisk: a.failed, SecondDisk: d, TMS: a.eng.Now()}
+	g := a.lay.G()
+	for s := int64(0); s < a.numStripes; s++ {
+		atRisk := false
+		dead := 0
+		for j := 0; j < g; j++ {
+			u := a.lay.Unit(s, j)
+			if !a.available(u) {
+				atRisk = true
+				dead++
+				continue
+			}
+			if a.phys(u).Disk == d {
+				dead++
+			}
+		}
+		if atRisk {
+			df.StripesAtRisk++
+		}
+		if dead >= 2 {
+			df.StripesLost++
+			df.UnitsLost += int64(dead)
+		}
+	}
+	a.doubleFailures = append(a.doubleFailures, df)
+	a.fstats.LostUnits += df.UnitsLost
+	a.mLostUnits.Add(df.UnitsLost)
+	if a.tracer != nil {
+		a.tracer.Fault(metrics.FaultEvent{
+			Ev: metrics.EvDataLoss, TMS: df.TMS, Disk: d,
+			Stripe: -1, LostUnits: int(df.UnitsLost),
+		})
+	}
+	if a.cfg.Faults != nil {
+		a.cfg.Faults.ResetDisk(d)
+	}
+	return df, nil
+}
+
+// FailReplacement models the replacement disk itself dying mid-rebuild:
+// any running reconstruction aborts, the progress bitmap resets (the next
+// drive arrives blank), and the slot reverts to failed-without-
+// replacement. Install another drive with Replace and call Reconstruct to
+// start over. Contrast InterruptRecon, which stops the sweep but keeps
+// the replacement and the checkpoint.
+func (a *Array) FailReplacement() error {
+	if a.failed < 0 || !a.replacement {
+		return fmt.Errorf("array: no replacement disk installed")
+	}
+	if a.reconActive {
+		a.abortRecon()
+	}
+	a.replacement = false
+	for i := range a.reconDone {
+		a.reconDone[i] = false
+	}
+	return nil
+}

@@ -16,10 +16,22 @@ type xfer struct {
 const (
 	userPriority  = 0
 	reconPriority = -1
+	scrubPriority = -2
+)
+
+// Transient-timeout retries back off exponentially from retryBaseMS,
+// doubling up to retryBaseMS << retryMaxShift per attempt. Retries are
+// unbounded: each attempt draws an independent outcome (the injector caps
+// the timeout rate at 0.9), so service terminates with probability one.
+const (
+	retryBaseMS   = 1.0
+	retryMaxShift = 5
 )
 
 // io issues a set of transfers in parallel and calls done when the last
-// completes.
+// completes, passing the transfers that failed with a media error (always
+// reads under the stock injector; empty on a clean phase). Transient
+// timeouts are retried internally and never surface.
 //
 // Writes addressed to a failed slot with no replacement are dropped: a
 // disk can fail between an operation's phases (its path was chosen while
@@ -28,11 +40,18 @@ const (
 // is why parity and data commit in the same phase. Reads of such a slot,
 // or of a not-yet-reconstructed replacement unit, can never be correct and
 // panic as driver bugs.
-func (a *Array) io(xs []xfer, prio int, done func()) {
+func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 	if len(xs) == 0 {
 		panic("array: empty io phase")
 	}
 	n := len(xs)
+	var fails []xfer
+	finishOne := func() {
+		n--
+		if n == 0 {
+			done(fails)
+		}
+	}
 	for _, x := range xs {
 		if x.loc.Disk == a.failed {
 			if !x.write {
@@ -44,29 +63,50 @@ func (a *Array) io(xs []xfer, prio int, done func()) {
 				}
 			} else if !a.replacement && a.spareLay == nil {
 				// Dropped write to a dead disk.
-				n--
-				if n == 0 {
-					done()
-				}
+				finishOne()
 				continue
 			}
 		}
 		// Under distributed sparing, units of the failed disk live (or
 		// will live) in their stripes' spare slots on survivors.
 		target := a.phys(x.loc)
-		a.disks[target.Disk].Submit(&disk.Request{
-			Start:    a.unitSector(target.Offset),
-			Count:    a.cfg.UnitSectors,
-			Write:    x.write,
-			Priority: prio,
-			OnDone: func(_, _ float64) {
-				n--
-				if n == 0 {
-					done()
-				}
-			},
+		a.submitIO(x, target, prio, 0, func(st disk.Status) {
+			if st == disk.MediaError {
+				a.fstats.MediaErrors++
+				fails = append(fails, x)
+			}
+			finishOne()
 		})
 	}
+}
+
+// submitIO issues one transfer to its resolved target, retrying transient
+// timeouts with capped exponential backoff; OK and MediaError outcomes
+// surface to onDone. The target is resolved once: a retry lands on the
+// same drive slot the operation chose, even if the array's failure state
+// moved underneath it (the enclosing phase's drop/panic rules already ran).
+func (a *Array) submitIO(x xfer, target layout.Loc, prio, attempt int, onDone func(disk.Status)) {
+	a.disks[target.Disk].Submit(&disk.Request{
+		Start:    a.unitSector(target.Offset),
+		Count:    a.cfg.UnitSectors,
+		Write:    x.write,
+		Priority: prio,
+		OnDone: func(_, _ float64, st disk.Status) {
+			if st != disk.Timeout {
+				onDone(st)
+				return
+			}
+			a.fstats.Retries++
+			a.mRetries.Inc()
+			shift := attempt
+			if shift > retryMaxShift {
+				shift = retryMaxShift
+			}
+			a.eng.Schedule(retryBaseMS*float64(int64(1)<<shift), func() {
+				a.submitIO(x, target, prio, attempt+1, onDone)
+			})
+		},
+	})
 }
 
 // reads builds read transfers for a set of locations.
@@ -74,6 +114,15 @@ func reads(locs []layout.Loc) []xfer {
 	xs := make([]xfer, len(locs))
 	for i, l := range locs {
 		xs[i] = xfer{loc: l}
+	}
+	return xs
+}
+
+// writesOf builds write transfers for a set of locations.
+func writesOf(locs []layout.Loc) []xfer {
+	xs := make([]xfer, len(locs))
+	for i, l := range locs {
+		xs[i] = xfer{loc: l, write: true}
 	}
 	return xs
 }
@@ -122,8 +171,21 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 	a.mUserReads.Inc()
 	loc := a.mapper.Loc(unit)
 	plain := func() {
-		a.io([]xfer{{loc: loc}}, userPriority, func() {
-			done(a.unitVal(loc))
+		a.io([]xfer{{loc: loc}}, userPriority, func(fails []xfer) {
+			if len(fails) == 0 {
+				done(a.unitVal(loc))
+				return
+			}
+			// Latent sector error: recover under the stripe lock (the
+			// repair updates the platter, racing parity writers), then
+			// answer — the user's latency includes the recovery.
+			stripe, _ := a.lay.Locate(loc)
+			a.locks.acquire(stripe, func() {
+				a.repairLocked(stripe, fails, userPriority, func() {
+					a.locks.release(stripe)
+					done(a.unitVal(loc))
+				})
+			})
 		})
 	}
 	if loc.Disk != a.failed || a.redirectableRead(loc) {
@@ -137,30 +199,38 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 		// Re-evaluate: reconstruction or healing may have happened
 		// while waiting for the lock.
 		if loc.Disk != a.failed || a.redirectableRead(loc) {
-			a.io([]xfer{{loc: loc}}, userPriority, func() {
-				a.locks.release(stripe)
-				done(a.unitVal(loc))
+			a.io([]xfer{{loc: loc}}, userPriority, func(fails []xfer) {
+				a.repairThen(stripe, fails, userPriority, func() {
+					a.locks.release(stripe)
+					done(a.unitVal(loc))
+				})
 			})
 			return
 		}
 		surv := layout.SurvivingUnits(a.lay, loc)
 		a.mOTFRecons.Inc()
-		a.io(reads(surv), userPriority, func() {
-			value := a.xorUnits(surv)
-			if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
-				// The user's data is ready now; the piggybacked
-				// write to the replacement continues under the
-				// stripe lock.
+		a.io(reads(surv), userPriority, func(fails []xfer) {
+			// An unreadable survivor means the lost unit is really gone
+			// (two dead units in the stripe): repairThen records the
+			// loss and restores out of band; the value read below is
+			// the model's, standing in for the backup's.
+			a.repairThen(stripe, fails, userPriority, func() {
+				value := a.xorUnits(surv)
+				if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
+					// The user's data is ready now; the piggybacked
+					// write to the replacement continues under the
+					// stripe lock.
+					done(value)
+					a.io([]xfer{{loc: loc, write: true}}, userPriority, func(_ []xfer) {
+						a.setUnitVal(loc, value)
+						a.markReconstructed(loc.Offset)
+						a.locks.release(stripe)
+					})
+					return
+				}
+				a.locks.release(stripe)
 				done(value)
-				a.io([]xfer{{loc: loc, write: true}}, userPriority, func() {
-					a.setUnitVal(loc, value)
-					a.markReconstructed(loc.Offset)
-					a.locks.release(stripe)
-				})
-				return
-			}
-			a.locks.release(stripe)
-			done(value)
+			})
 		})
 	})
 }
@@ -215,7 +285,7 @@ func (a *Array) writeLocked(unit int64, loc layout.Loc, stripe int64, value uint
 		// updating it, so the write is a single data access (§7); the
 		// parity unit will be recomputed from data when its turn in
 		// the sweep comes.
-		a.io([]xfer{{loc: loc, write: true}}, userPriority, func() {
+		a.io([]xfer{{loc: loc, write: true}}, userPriority, func(_ []xfer) {
 			a.setUnitVal(loc, value)
 			a.expected[unit] = value
 			finish()
@@ -233,7 +303,7 @@ func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layou
 		// unit, so the write is two plain writes with no pre-reads —
 		// the G=2 declustered layout behaves as declustered mirroring
 		// (Copeland & Keller's interleaved declustering, §3).
-		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func() {
+		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func(_ []xfer) {
 			a.setUnitVal(loc, value)
 			a.setUnitVal(ploc, value)
 			a.expected[unit] = value
@@ -254,13 +324,15 @@ func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layou
 			otherData := a.unitVal(other)
 			// Overlap the companion read with the data write, then
 			// write parity computed from the two new values.
-			a.io([]xfer{{loc: other}, {loc: loc, write: true}}, userPriority, func() {
-				a.setUnitVal(loc, value)
-				a.expected[unit] = value
-				parity := value ^ otherData
-				a.io([]xfer{{loc: ploc, write: true}}, userPriority, func() {
-					a.setUnitVal(ploc, parity)
-					finish()
+			a.io([]xfer{{loc: other}, {loc: loc, write: true}}, userPriority, func(fails []xfer) {
+				a.repairThen(stripe, fails, userPriority, func() {
+					a.setUnitVal(loc, value)
+					a.expected[unit] = value
+					parity := value ^ otherData
+					a.io([]xfer{{loc: ploc, write: true}}, userPriority, func(_ []xfer) {
+						a.setUnitVal(ploc, parity)
+						finish()
+					})
 				})
 			})
 			return
@@ -269,13 +341,15 @@ func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layou
 	// Pre-read old data and parity, then overwrite both.
 	oldData := a.unitVal(loc)
 	oldParity := a.unitVal(ploc)
-	a.io([]xfer{{loc: loc}, {loc: ploc}}, userPriority, func() {
-		newParity := oldParity ^ oldData ^ value
-		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func() {
-			a.setUnitVal(loc, value)
-			a.setUnitVal(ploc, newParity)
-			a.expected[unit] = value
-			finish()
+	a.io([]xfer{{loc: loc}, {loc: ploc}}, userPriority, func(fails []xfer) {
+		a.repairThen(stripe, fails, userPriority, func() {
+			newParity := oldParity ^ oldData ^ value
+			a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func(_ []xfer) {
+				a.setUnitVal(loc, value)
+				a.setUnitVal(ploc, newParity)
+				a.expected[unit] = value
+				finish()
+			})
 		})
 	})
 }
@@ -291,7 +365,7 @@ func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc lay
 	toReplacement := (a.replacement || a.spareLay != nil) && a.cfg.Algorithm != Baseline
 	commitParity := func(newParity uint64) {
 		if toReplacement {
-			a.io([]xfer{{loc: ploc, write: true}, {loc: loc, write: true}}, userPriority, func() {
+			a.io([]xfer{{loc: ploc, write: true}, {loc: loc, write: true}}, userPriority, func(_ []xfer) {
 				a.setUnitVal(ploc, newParity)
 				a.setUnitVal(loc, value)
 				a.expected[unit] = value
@@ -300,7 +374,7 @@ func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc lay
 			})
 			return
 		}
-		a.io([]xfer{{loc: ploc, write: true}}, userPriority, func() {
+		a.io([]xfer{{loc: ploc, write: true}}, userPriority, func(_ []xfer) {
 			a.setUnitVal(ploc, newParity)
 			a.expected[unit] = value
 			finish()
@@ -311,7 +385,12 @@ func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc lay
 		commitParity(value)
 		return
 	}
-	a.io(reads(others), userPriority, func() {
-		commitParity(a.xorUnits(others) ^ value)
+	a.io(reads(others), userPriority, func(fails []xfer) {
+		// A failed survivor read: the stripe has two dead units, so the
+		// value being folded into parity rests on a loss; repairThen
+		// records it and restores before the fold continues.
+		a.repairThen(stripe, fails, userPriority, func() {
+			commitParity(a.xorUnits(others) ^ value)
+		})
 	})
 }

@@ -82,7 +82,18 @@ func (a *Array) ReadRange(unit int64, count int, done func()) {
 		}
 		grpDone := join(sub, part)
 		if len(direct) > 0 {
-			a.io(reads(direct), userPriority, grpDone)
+			a.io(reads(direct), userPriority, func(fails []xfer) {
+				if len(fails) == 0 {
+					grpDone()
+					return
+				}
+				a.locks.acquire(grp.stripe, func() {
+					a.repairLocked(grp.stripe, fails, userPriority, func() {
+						a.locks.release(grp.stripe)
+						grpDone()
+					})
+				})
+			})
 		}
 		if lost >= 0 {
 			// At most one unit per stripe can be lost; reuse the
@@ -216,7 +227,7 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 			for _, v := range values {
 				parity ^= v
 			}
-			a.io(commit(), userPriority, func() {
+			a.io(commit(), userPriority, func(_ []xfer) {
 				apply(parity)
 				finish()
 			})
@@ -228,10 +239,12 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 				parity ^= a.unitVal(loc) ^ values[i]
 			}
 			pre := append(reads(grp.locs), xfer{loc: ploc})
-			a.io(pre, userPriority, func() {
-				a.io(commit(), userPriority, func() {
-					apply(parity)
-					finish()
+			a.io(pre, userPriority, func(fails []xfer) {
+				a.repairThen(grp.stripe, fails, userPriority, func() {
+					a.io(commit(), userPriority, func(_ []xfer) {
+						apply(parity)
+						finish()
+					})
 				})
 			})
 		default:
@@ -240,10 +253,12 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 			for _, v := range values {
 				parity ^= v
 			}
-			a.io(reads(others), userPriority, func() {
-				a.io(commit(), userPriority, func() {
-					apply(parity)
-					finish()
+			a.io(reads(others), userPriority, func(fails []xfer) {
+				a.repairThen(grp.stripe, fails, userPriority, func() {
+					a.io(commit(), userPriority, func(_ []xfer) {
+						apply(parity)
+						finish()
+					})
 				})
 			})
 		}

@@ -80,6 +80,19 @@ func (a *Array) nextReconOffset() (int64, bool) {
 	return 0, false
 }
 
+// deferRecon schedules a reconstruction step after delay, tagged with the
+// current epoch: if an abort or completion bumps the epoch meanwhile, the
+// callback quietly dies instead of touching a newer run's state.
+func (a *Array) deferRecon(delay float64) {
+	e := a.reconEpoch
+	a.eng.Schedule(delay, func() {
+		if e != a.reconEpoch {
+			return
+		}
+		a.reconStep()
+	})
+}
+
 // reconStep runs one reconstruction cycle of one process: claim the next
 // unit, lock its stripe, read the G−1 survivors, XOR, write the result to
 // the replacement, then schedule the next cycle.
@@ -95,16 +108,21 @@ func (a *Array) reconStep() {
 		a.reconProcsLive--
 		return
 	}
+	e := a.reconEpoch
 	cycleStart := a.eng.Now()
 	loc := layout.Loc{Disk: a.failed, Offset: off}
 	stripe, _ := a.lay.Locate(loc)
 	a.locks.acquire(stripe, func() {
-		if !a.reconActive || a.reconDone[off] {
+		if e != a.reconEpoch {
+			a.locks.release(stripe)
+			return
+		}
+		if a.reconDone[off] {
 			// A user write or piggyback reconstructed it first
 			// ("free reconstruction"); skip. Trampoline through the
 			// engine to bound recursion over long reconstructed runs.
 			a.locks.release(stripe)
-			a.eng.Schedule(0, a.reconStep)
+			a.deferRecon(0)
 			return
 		}
 		surv := layout.SurvivingUnits(a.lay, loc)
@@ -112,11 +130,35 @@ func (a *Array) reconStep() {
 			a.reconReads[u.Disk]++
 		}
 		readStart := a.eng.Now()
-		a.io(reads(surv), a.reconPrio(), func() {
+		a.io(reads(surv), a.reconPrio(), func(fails []xfer) {
+			if e != a.reconEpoch {
+				a.locks.release(stripe)
+				return
+			}
 			value := a.xorUnits(surv)
 			a.readPhase.Add(a.eng.Now() - readStart)
 			writeStart := a.eng.Now()
-			a.io([]xfer{{loc: loc, write: true}}, a.reconPrio(), func() {
+			ws := []xfer{{loc: loc, write: true}}
+			if len(fails) > 0 {
+				// Unreadable survivors: the lost unit cannot really be
+				// rebuilt, and each bad survivor is itself beyond parity
+				// (its stripe already lost the unit under
+				// reconstruction). Record all of them as lost, restore
+				// them out of band in this cycle's write phase (the
+				// rewrites remap the latent sectors), and keep sweeping.
+				lostLocs := make([]layout.Loc, 0, len(fails)+1)
+				for _, f := range fails {
+					lostLocs = append(lostLocs, f.loc)
+					ws = append(ws, xfer{loc: f.loc, write: true})
+				}
+				lostLocs = append(lostLocs, loc)
+				a.recordLoss(stripe, lostLocs)
+			}
+			a.io(ws, a.reconPrio(), func(_ []xfer) {
+				if e != a.reconEpoch {
+					a.locks.release(stripe)
+					return
+				}
 				a.setUnitVal(loc, value)
 				a.writePhase.Add(a.eng.Now() - writeStart)
 				a.reconCycles++
@@ -145,17 +187,45 @@ func (a *Array) scheduleNextCycle(cycleStart float64) {
 	if rate := a.cfg.ReconThrottleCyclesPerSec; rate > 0 {
 		minSpacing := 1000 / rate
 		if wait := cycleStart + minSpacing - a.eng.Now(); wait > 0 {
-			a.eng.Schedule(wait, a.reconStep)
+			a.deferRecon(wait)
 			return
 		}
 	}
 	a.reconStep()
 }
 
+// InterruptRecon aborts the running reconstruction processes but keeps the
+// replacement disk and the progress bitmap — the checkpoint. A later
+// Reconstruct resumes from it: already-reconstructed units are skipped,
+// so only the remainder is swept again. A cycle in flight at the
+// interrupt is discarded (its unit stays unreconstructed).
+func (a *Array) InterruptRecon() error {
+	if !a.reconActive {
+		return fmt.Errorf("array: no reconstruction running")
+	}
+	a.abortRecon()
+	return nil
+}
+
+// abortRecon tears down the running sweep: every pending continuation
+// dies on the epoch bump, so no stale callback can touch the state of a
+// restarted run.
+func (a *Array) abortRecon() {
+	a.reconActive = false
+	a.reconEpoch++
+	a.reconProcsLive = 0
+	a.reconOnDone = nil
+}
+
 // markReconstructed records that the failed slot's unit at off is now valid
 // on the replacement, whichever path produced it (sweep, user write, or
-// piggyback), and completes reconstruction when it was the last one.
+// piggyback), and completes reconstruction when it was the last one. It is
+// a no-op when there is nowhere valid to reconstruct to — the replacement
+// died (FailReplacement) with a write still in flight.
 func (a *Array) markReconstructed(off int64) {
+	if !a.replacement && a.spareLay == nil {
+		return
+	}
 	if a.reconDone[off] {
 		return
 	}
@@ -175,6 +245,9 @@ func (a *Array) markReconstructed(off int64) {
 func (a *Array) finishRecon() {
 	a.reconEndMS = a.eng.Now()
 	a.reconActive = false
+	// Bump the epoch so throttled/deferred sweep callbacks from this run
+	// die instead of outliving it into a future reconstruction.
+	a.reconEpoch++
 	if a.tracer != nil {
 		a.tracer.Recon(metrics.ReconEvent{
 			Ev: metrics.EvReconDone, TMS: a.eng.Now(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"declust/internal/fault"
 	"declust/internal/stats"
 )
 
@@ -26,16 +27,37 @@ type LifecycleConfig struct {
 	DurationMS float64
 	// FailureSeed drives the failure process (workload keeps Sim.Seed).
 	FailureSeed int64
+	// WeibullShape, when not 0 or 1, draws failure inter-arrival times
+	// from a Weibull with that shape instead of the exponential (< 1
+	// models infant mortality, > 1 wear-out). The pooled arrival stream
+	// keeps mean MTTF/C either way; this is an approximation of C
+	// independent Weibull lifetimes, exact only in the exponential case.
+	WeibullShape float64
 }
 
 // LifecycleReport summarizes a continuous-operation run.
 type LifecycleReport struct {
 	Failures int // disks failed (and repaired)
-	// DoubleFaultRisks counts failure arrivals that landed while the
-	// array was already degraded. A single-failure-correcting array
-	// would have lost data; the simulation records the event and keeps
-	// the second disk alive, so the count measures exposure.
-	DoubleFaultRisks int
+
+	// Second failures are real: a failure arrival during a degraded
+	// window kills a second drive, and the array enumerates exactly
+	// which stripes lost two units (declustering loses the fraction
+	// α of the at-risk stripes; RAID 5 loses them all). The lost data
+	// is restored out of band so the run continues.
+	DoubleFailures int   // surviving disks killed while degraded
+	StripesAtRisk  int64 // stripes still exposed when the second disk died
+	StripesLost    int64 // stripes that lost two or more units
+	UnitsLost      int64 // units beyond redundancy, double failures and media errors alike
+
+	// ReplacementFailures counts failure arrivals that landed on the
+	// replacement disk mid-rebuild: the checkpoint is discarded (the
+	// next drive arrives blank) and reconstruction restarts after a
+	// fresh ReplacementDelayMS.
+	ReplacementFailures int
+
+	// DataLossEvents counts per-stripe loss events from media errors
+	// (whole-disk double failures are summarized above instead).
+	DataLossEvents int
 
 	FaultFreeMS      float64
 	DegradedMS       float64 // failed, replacement not yet installed
@@ -123,50 +145,85 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) {
 		}
 	}
 
-	var scheduleFailure func()
-	scheduleFailure = func() {
-		// Failure arrivals across C disks; memoryless, so a single
-		// stream at rate C/MTTF is equivalent.
-		delay := rng.ExpFloat64() * mttfMS / c
-		r.eng.Schedule(delay, func() {
-			if r.eng.Now() >= cfg.DurationMS {
-				return
+	// installReplacement schedules the spare's arrival and the rebuild.
+	// It is armed once per entry into the degraded state — on the first
+	// failure, and again whenever the replacement itself dies.
+	var installReplacement func()
+	installReplacement = func() {
+		r.eng.Schedule(cfg.ReplacementDelayMS, func() {
+			if !r.arr.Degraded() {
+				return // horizon policies could heal early; defensive
 			}
-			if r.arr.Degraded() {
-				rep.DoubleFaultRisks++
-				scheduleFailure()
-				return
+			if err := r.arr.Replace(); err != nil {
+				panic(err)
 			}
+			setState(2)
+			err := r.arr.Reconstruct(func() {
+				setState(0)
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	// Failure arrivals across C disks as one pooled stream at rate
+	// C/MTTF, re-armed unconditionally after each arrival: disks keep
+	// dying whatever state the array is in. Each arrival strikes a
+	// uniformly random slot.
+	var onFailure func()
+	scheduleFailure := func() {
+		delay := fault.LifetimeMS(rng, cfg.WeibullShape, mttfMS/c)
+		r.eng.Schedule(delay, onFailure)
+	}
+	onFailure = func() {
+		if r.eng.Now() >= cfg.DurationMS {
+			return
+		}
+		scheduleFailure()
+		d := rng.Intn(int(c))
+		switch {
+		case !r.arr.Degraded():
 			rep.Failures++
-			if err := r.arr.Fail(rng.Intn(int(c))); err != nil {
+			if err := r.arr.Fail(d); err != nil {
 				panic(err) // unreachable: guarded by Degraded above
 			}
 			setState(1)
-			r.eng.Schedule(cfg.ReplacementDelayMS, func() {
-				if !r.arr.Degraded() {
-					return // horizon policies could heal early; defensive
-				}
-				if err := r.arr.Replace(); err != nil {
-					panic(err)
-				}
-				setState(2)
-				err := r.arr.Reconstruct(func() {
-					setState(0)
-					scheduleFailure()
-				})
-				if err != nil {
-					panic(err)
-				}
-			})
-		})
+			installReplacement()
+		case d == r.arr.FailedDisk():
+			if !r.arr.Reconstructing() {
+				return // the arrival struck the already-dead drive
+			}
+			// The replacement died mid-rebuild: back to degraded, the
+			// checkpoint is void, and a fresh spare restarts the sweep.
+			rep.ReplacementFailures++
+			if err := r.arr.FailReplacement(); err != nil {
+				panic(err)
+			}
+			setState(1)
+			installReplacement()
+		default:
+			// A true second failure: enumerate the stripes that lost two
+			// units, then carry on (the lost data is restored out of
+			// band, as the consistency model requires).
+			rep.DoubleFailures++
+			df, err := r.arr.SecondFail(d)
+			if err != nil {
+				panic(err) // unreachable: d alive and distinct from failed
+			}
+			rep.StripesAtRisk += df.StripesAtRisk
+			rep.StripesLost += df.StripesLost
+		}
 	}
 
 	r.from = 0
 	r.startSampling()
+	r.startFaults()
 	r.pump()
 	scheduleFailure()
 	r.eng.RunUntil(cfg.DurationMS)
 	r.stopped = true
+	r.stopFaults()
 	account(r.eng.Now())
 	// Drain in-flight work (reconstruction may still be running; let it
 	// finish so the consistency check sees a quiesced array).
@@ -184,5 +241,7 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) {
 	rep.DegradedResponseMS = dgResp.Mean()
 	rep.ReconResponseMS = rcResp.Mean()
 	rep.Requests = ffResp.N() + dgResp.N() + rcResp.N()
+	rep.UnitsLost = r.arr.FaultStats().LostUnits
+	rep.DataLossEvents = len(r.arr.DataLosses())
 	return rep, nil
 }

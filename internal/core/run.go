@@ -5,6 +5,7 @@ import (
 
 	"declust/internal/array"
 	"declust/internal/disk"
+	"declust/internal/fault"
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/sim"
@@ -54,6 +55,26 @@ type SimConfig struct {
 	// Extensions (paper §9 future work).
 	ReconLowPriority          bool
 	ReconThrottleCyclesPerSec float64
+
+	// Fault injection. All zero values disable every fault process and
+	// leave the run byte-identical — same event order, same exports — to
+	// one without fault support at all.
+	//
+	// FaultSeed drives the injector's random draws, independently of the
+	// workload Seed so enabling faults never perturbs arrivals.
+	FaultSeed int64
+	// LSERatePerGBHour injects latent sector errors per GB of disk
+	// capacity per simulated hour (accelerated values make minutes-long
+	// runs see errors; real drives sit around 1e-5 to 1e-4).
+	LSERatePerGBHour float64
+	// TransientRate is the per-request timeout probability in [0, 0.9];
+	// timed-out requests are retried with capped exponential backoff.
+	TransientRate float64
+	// FaultTimeoutMS is the stall one transient timeout costs; 0 = 50 ms.
+	FaultTimeoutMS float64
+	// ScrubIntervalMS, when positive, runs the background scrubber at one
+	// parity stripe per interval (lowest disk priority).
+	ScrubIntervalMS float64
 
 	// WarmupMS settles queues before measurement begins; MeasureMS is
 	// the measurement window for fault-free and degraded runs.
@@ -126,6 +147,11 @@ func (c SimConfig) withDefaults() SimConfig {
 	return c
 }
 
+// faultsEnabled reports whether the configuration needs a fault injector.
+func (c SimConfig) faultsEnabled() bool {
+	return c.LSERatePerGBHour > 0 || c.TransientRate > 0
+}
+
 // Metrics reports one run's results. Response-time fields are in
 // milliseconds over user accesses arriving inside the measurement window.
 type Metrics struct {
@@ -144,6 +170,16 @@ type Metrics struct {
 
 	// Alpha is the achieved declustering ratio of the layout used.
 	Alpha float64
+
+	// Fault and scrub activity (all zero when fault injection is off).
+	LSEArrivals      int64 // latent sector errors injected
+	TransientRetries int64 // timeouts absorbed by backoff-and-retry
+	MediaErrors      int64 // transfers that surfaced a latent error
+	LatentRepairs    int64 // units rebuilt from parity after a media error
+	LostUnits        int64 // units beyond redundancy's reach (real loss)
+	DataLossEvents   int   // per-stripe loss events recorded
+	ScrubPasses      int64 // full scrub sweeps completed
+	ScrubErrorsFound int64 // media errors the scrubber surfaced
 
 	// SimEndMS is the simulated clock when the run finished draining;
 	// EngineEvents is the total number of engine events fired. Both are
@@ -167,6 +203,10 @@ type runner struct {
 	from     float64
 	to       float64
 	stopped  bool
+
+	// Fault processes (nil/zero when disabled).
+	faults  *fault.Injector
+	scrubMS float64
 
 	// Instrumentation (nil-safe no-ops when disabled).
 	reg       *metrics.Registry
@@ -194,6 +234,19 @@ func newRunner(cfg SimConfig) (*runner, error) {
 	if cfg.ParallelDataMap {
 		mapper = layout.NewParallelMapper(m.Layout)
 	}
+	var inj *fault.Injector
+	if cfg.faultsEnabled() {
+		inj, err = fault.New(eng, cfg.Geom, m.Layout.Disks(), fault.Config{
+			Seed:             cfg.FaultSeed,
+			LSERatePerGBHour: cfg.LSERatePerGBHour,
+			TransientRate:    cfg.TransientRate,
+			TimeoutMS:        cfg.FaultTimeoutMS,
+			Tracer:           cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	arr, err := array.New(eng, array.Config{
 		Layout:                    m.Layout,
 		Geom:                      cfg.Geom,
@@ -206,6 +259,7 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		ReconThrottleCyclesPerSec: cfg.ReconThrottleCyclesPerSec,
 		DataMapper:                mapper,
 		DistributedSparing:        cfg.DistributedSparing,
+		Faults:                    inj,
 		Metrics:                   cfg.Metrics,
 		Tracer:                    cfg.Tracer,
 	})
@@ -229,6 +283,7 @@ func newRunner(cfg SimConfig) (*runner, error) {
 	}
 	r := &runner{
 		eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1,
+		faults: inj, scrubMS: cfg.ScrubIntervalMS,
 		reg: cfg.Metrics, tracer: cfg.Tracer, sampleMS: cfg.SampleEveryMS,
 	}
 	if r.reg != nil {
@@ -247,6 +302,29 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		})
 	}
 	return r, nil
+}
+
+// startFaults activates the configured fault processes: the injector's
+// LSE arrivals and the background scrubber. No-op when faults are off.
+func (r *runner) startFaults() {
+	if r.faults != nil {
+		r.faults.Start()
+	}
+	if r.scrubMS > 0 {
+		if err := r.arr.StartScrub(r.scrubMS); err != nil {
+			panic(err) // unreachable: spacing checked positive
+		}
+	}
+}
+
+// stopFaults cancels the self-rescheduling fault processes so the engine
+// can drain. Work already in flight (a scrub scan, a repair) finishes
+// during the drain.
+func (r *runner) stopFaults() {
+	if r.faults != nil {
+		r.faults.Stop()
+	}
+	r.arr.StopScrub()
 }
 
 // startSampling begins the per-disk time-series sampler: every sampleMS
@@ -327,6 +405,26 @@ func (r *runner) exportFinal() {
 		r.reg.Counter("disk_sectors" + lbl).Add(st.SectorsMoved)
 		r.reg.Counter("disk_seek_cyls" + lbl).Add(st.SeekCyls)
 	}
+	// Fault gauges only exist when fault processes ran, so fault-free
+	// exports stay byte-identical to builds without fault support.
+	if r.faults != nil || r.scrubMS > 0 {
+		fs := r.arr.FaultStats()
+		r.reg.Gauge("fault_media_errors").Set(float64(fs.MediaErrors))
+		r.reg.Gauge("fault_lost_units").Set(float64(fs.LostUnits))
+		r.reg.Gauge("fault_data_loss_events").Set(float64(len(r.arr.DataLosses())))
+		if r.faults != nil {
+			st := r.faults.Stats()
+			r.reg.Gauge("fault_lse_arrivals").Set(float64(st.LSEArrivals))
+			r.reg.Gauge("fault_bad_sectors").Set(float64(st.BadSectors))
+			r.reg.Gauge("fault_healed_sectors").Set(float64(st.Healed))
+		}
+		if r.scrubMS > 0 {
+			ss := r.arr.ScrubStats()
+			r.reg.Gauge("scrub_passes").Set(float64(ss.Passes))
+			r.reg.Gauge("scrub_units_scanned").Set(float64(ss.UnitsScanned))
+			r.reg.Gauge("scrub_errors_found").Set(float64(ss.ErrorsFound))
+		}
+	}
 	if _, total := r.arr.ReconProgress(); total > 0 {
 		done, _ := r.arr.ReconProgress()
 		r.reg.Gauge("recon_time_ms").Set(r.arr.ReconTimeMS())
@@ -389,15 +487,28 @@ func (r *runner) pump() {
 }
 
 func (r *runner) metrics() Metrics {
-	return Metrics{
-		MeanResponseMS: r.resp.Mean(),
-		StdResponseMS:  r.resp.Std(),
-		P90ResponseMS:  r.resp.Percentile(90),
-		Requests:       r.resp.N(),
-		Alpha:          r.arr.Layout().Alpha(),
-		SimEndMS:       r.eng.Now(),
-		EngineEvents:   r.eng.Fired(),
+	fs := r.arr.FaultStats()
+	ss := r.arr.ScrubStats()
+	m := Metrics{
+		MeanResponseMS:   r.resp.Mean(),
+		StdResponseMS:    r.resp.Std(),
+		P90ResponseMS:    r.resp.Percentile(90),
+		Requests:         r.resp.N(),
+		Alpha:            r.arr.Layout().Alpha(),
+		SimEndMS:         r.eng.Now(),
+		EngineEvents:     r.eng.Fired(),
+		TransientRetries: fs.Retries,
+		MediaErrors:      fs.MediaErrors,
+		LatentRepairs:    fs.LatentRepairs,
+		LostUnits:        fs.LostUnits,
+		DataLossEvents:   len(r.arr.DataLosses()),
+		ScrubPasses:      ss.Passes,
+		ScrubErrorsFound: ss.ErrorsFound,
 	}
+	if r.faults != nil {
+		m.LSEArrivals = r.faults.Stats().LSEArrivals
+	}
+	return m
 }
 
 // RunFaultFree measures steady-state user response time with no failure
@@ -430,9 +541,11 @@ func (r *runner) timedWindow(cfg SimConfig) (Metrics, error) {
 	r.from = cfg.WarmupMS
 	r.to = cfg.WarmupMS + cfg.MeasureMS
 	r.startSampling()
+	r.startFaults()
 	r.pump()
 	r.eng.RunUntil(r.to)
 	r.stopped = true
+	r.stopFaults()
 	r.eng.Run() // drain in-flight operations so their responses count
 	if err := r.arr.CheckConsistency(); err != nil {
 		return Metrics{}, fmt.Errorf("core: post-run consistency check: %w", err)
@@ -462,12 +575,14 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 	}
 	r.from = cfg.WarmupMS
 	r.startSampling()
+	r.startFaults()
 	r.pump()
 	r.eng.RunUntil(cfg.WarmupMS)
 
 	err = r.arr.Reconstruct(func() {
 		r.to = r.eng.Now()
 		r.stopped = true
+		r.stopFaults()
 	})
 	if err != nil {
 		return Metrics{}, err
@@ -546,9 +661,10 @@ func ReconCyclePhases(cfg SimConfig, tail int) (readMean, readStd, writeMean, wr
 		}
 	}
 	r.from = cfg.WarmupMS
+	r.startFaults()
 	r.pump()
 	r.eng.RunUntil(cfg.WarmupMS)
-	if err := r.arr.Reconstruct(func() { r.stopped = true }); err != nil {
+	if err := r.arr.Reconstruct(func() { r.stopped = true; r.stopFaults() }); err != nil {
 		return 0, 0, 0, 0, err
 	}
 	r.eng.Run()

@@ -7,6 +7,41 @@ import (
 	"declust/internal/sim"
 )
 
+// Status is the outcome of a disk transfer.
+type Status int
+
+const (
+	// OK: the transfer completed and (for reads) returned valid data.
+	OK Status = iota
+	// MediaError: the platter could not return the sectors (a latent
+	// sector error). The request paid its full service time discovering
+	// it; retries do not help — the data must be recovered from
+	// redundancy, and a subsequent write to the region remaps it.
+	MediaError
+	// Timeout: a transient fault (bus reset, recovered internal retry
+	// storm) swallowed the request. No data moved; the arm did not move.
+	// A retry draws a fresh outcome.
+	Timeout
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case MediaError:
+		return "media-error"
+	case Timeout:
+		return "timeout"
+	default:
+		return "Status(?)"
+	}
+}
+
+// FaultHook decides the fate of a transfer at service time. It may keep
+// per-disk state (bad sector sets, RNG streams); returning OK always is
+// equivalent to no hook.
+type FaultHook func(start int64, count int, write bool) Status
+
 // Request is one contiguous disk transfer.
 type Request struct {
 	Start int64 // first logical block address
@@ -19,8 +54,8 @@ type Request struct {
 	Priority int
 
 	// OnDone fires when the transfer completes, with the simulated times
-	// at which service started and finished.
-	OnDone func(start, finish float64)
+	// at which service started and finished and the transfer's outcome.
+	OnDone func(start, finish float64, st Status)
 
 	queuedAt float64
 	seq      uint64
@@ -37,6 +72,8 @@ type Stats struct {
 	QueueMS      float64 // total time requests waited in queue
 	MaxQueueLen  int
 	SeekCyls     int64 // total cylinders traveled to reach request starts
+	MediaErrors  int64 // transfers that hit a latent sector error
+	Timeouts     int64 // transfers lost to transient faults
 }
 
 // Disk is a single simulated drive attached to an event engine. It services
@@ -52,6 +89,10 @@ type Disk struct {
 	seq      uint64
 	stats    Stats
 	observer func(Event)
+
+	// Fault injection (nil hook = the drive never errs).
+	hook      FaultHook
+	timeoutMS float64
 }
 
 // New creates a disk with CVSCAN (V(R)) scheduling, bias ratio r in [0,1]:
@@ -88,6 +129,18 @@ func (d *Disk) Busy() bool { return d.busy }
 // HeadCylinder returns the arm's current seek position.
 func (d *Disk) HeadCylinder() int { return d.headCyl }
 
+// SetFaultHook installs (or, with nil, removes) a fault hook consulted at
+// each transfer's service time. timeoutMS is the stall a Timeout outcome
+// costs before the request completes unserved; it must be positive when a
+// hook is set.
+func (d *Disk) SetFaultHook(hook FaultHook, timeoutMS float64) {
+	if hook != nil && timeoutMS <= 0 {
+		panic(fmt.Sprintf("disk: fault hook with timeout %v ms", timeoutMS))
+	}
+	d.hook = hook
+	d.timeoutMS = timeoutMS
+}
+
 // Submit queues a transfer. The request fires OnDone when it completes.
 func (d *Disk) Submit(r *Request) {
 	if r.Count <= 0 {
@@ -118,6 +171,35 @@ func (d *Disk) startNext() {
 	start := d.eng.Now()
 	d.stats.QueueMS += start - r.queuedAt
 
+	st := OK
+	if d.hook != nil {
+		st = d.hook(r.Start, r.Count, r.Write)
+	}
+	if st == Timeout {
+		// The transfer was swallowed by a transient fault: the drive is
+		// occupied for the timeout window, no sectors move, the arm
+		// stays where it was.
+		finish := start + d.timeoutMS
+		d.stats.BusyMS += d.timeoutMS
+		d.stats.Timeouts++
+		d.eng.At(finish, func() {
+			d.busy = false
+			d.stats.Completed++
+			if d.observer != nil {
+				d.observer(Event{
+					QueuedAt: r.queuedAt, Start: start, Finish: finish,
+					Cyl: d.headCyl, Sectors: r.Count, Write: r.Write,
+					Priority: r.Priority, Status: Timeout,
+				})
+			}
+			d.startNext()
+			if r.OnDone != nil {
+				r.OnDone(start, finish, Timeout)
+			}
+		})
+		return
+	}
+
 	startCyl := d.headCyl
 	finish, endCyl, br := d.serviceTime(start, r.Start, r.Count)
 	d.stats.SeekMS += br.seek
@@ -136,18 +218,22 @@ func (d *Disk) startNext() {
 		d.busy = false
 		d.stats.Completed++
 		d.stats.SectorsMoved += int64(r.Count)
+		if st == MediaError {
+			d.stats.MediaErrors++
+		}
 		if d.observer != nil {
 			d.observer(Event{
 				QueuedAt: r.queuedAt, Start: start, Finish: finish,
 				Cyl: tgt.Cyl, SeekDist: dist,
 				Sectors: r.Count, Write: r.Write, Priority: r.Priority,
+				Status: st,
 			})
 		}
 		// Start the next transfer before delivering the completion, so
 		// the arm never idles waiting on upper-layer work.
 		d.startNext()
 		if r.OnDone != nil {
-			r.OnDone(start, finish)
+			r.OnDone(start, finish, st)
 		}
 	})
 }

@@ -17,7 +17,7 @@ func newTestDisk(t *testing.T) (*sim.Engine, *Disk) {
 func TestSingleAccessCompletes(t *testing.T) {
 	eng, d := newTestDisk(t)
 	var start, finish float64
-	d.Submit(&Request{Start: 1000, Count: 8, OnDone: func(s, f float64) { start, finish = s, f }})
+	d.Submit(&Request{Start: 1000, Count: 8, OnDone: func(s, f float64, _ Status) { start, finish = s, f }})
 	eng.Run()
 	if finish <= start {
 		t.Fatalf("finish %v <= start %v", finish, start)
@@ -76,7 +76,7 @@ func TestAllQueuedRequestsComplete(t *testing.T) {
 		d.Submit(&Request{
 			Start:  rng.Int63n(d.Geometry().TotalSectors()-8) / 8 * 8,
 			Count:  8,
-			OnDone: func(_, _ float64) { done++ },
+			OnDone: func(_, _ float64, _ Status) { done++ },
 		})
 	}
 	eng.Run()
@@ -99,7 +99,7 @@ func TestRandomThroughputNearDatasheet(t *testing.T) {
 		d.Submit(&Request{
 			Start: rng.Int63n(d.Geometry().TotalSectors()/8) * 8,
 			Count: 8,
-			OnDone: func(_, _ float64) {
+			OnDone: func(_, _ float64, _ Status) {
 				completed++
 				if eng.Now() < 60_000 {
 					submit()
@@ -132,7 +132,7 @@ func TestSequentialFasterThanRandom(t *testing.T) {
 	var seqDone float64
 	n := 500
 	for i := 0; i < n; i++ {
-		seq.Submit(&Request{Start: int64(i) * 8, Count: 8, OnDone: func(_, f float64) { seqDone = f }})
+		seq.Submit(&Request{Start: int64(i) * 8, Count: 8, OnDone: func(_, f float64, _ Status) { seqDone = f }})
 	}
 	eng1.Run()
 
@@ -141,7 +141,7 @@ func TestSequentialFasterThanRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	var rndDone float64
 	for i := 0; i < n; i++ {
-		rnd.Submit(&Request{Start: rng.Int63n(g.TotalSectors()/8) * 8, Count: 8, OnDone: func(_, f float64) { rndDone = f }})
+		rnd.Submit(&Request{Start: rng.Int63n(g.TotalSectors()/8) * 8, Count: 8, OnDone: func(_, f float64, _ Status) { rndDone = f }})
 	}
 	eng2.Run()
 
@@ -158,7 +158,7 @@ func TestSequentialTrackReadNearOneRevolutionPerTrack(t *testing.T) {
 	d := New(eng, g, 0.2)
 	var finish float64
 	const tracks = 10
-	d.Submit(&Request{Start: 0, Count: 48 * tracks, OnDone: func(_, f float64) { finish = f }})
+	d.Submit(&Request{Start: 0, Count: 48 * tracks, OnDone: func(_, f float64, _ Status) { finish = f }})
 	eng.Run()
 	// Lower bound: tracks revolutions of data transfer.
 	lo := float64(tracks) * g.RevolutionMS
@@ -176,12 +176,12 @@ func TestTrackSkewAvoidsFullRotationSlip(t *testing.T) {
 	eng := sim.New()
 	d := New(eng, g, 0.2)
 	var oneTrack, crossing float64
-	d.Submit(&Request{Start: 0, Count: 48, OnDone: func(s, f float64) { oneTrack = f - s }})
+	d.Submit(&Request{Start: 0, Count: 48, OnDone: func(s, f float64, _ Status) { oneTrack = f - s }})
 	eng.Run()
 
 	eng2 := sim.New()
 	d2 := New(eng2, g, 0.2)
-	d2.Submit(&Request{Start: 0, Count: 96, OnDone: func(s, f float64) { crossing = f - s }})
+	d2.Submit(&Request{Start: 0, Count: 96, OnDone: func(s, f float64, _ Status) { crossing = f - s }})
 	eng2.Run()
 
 	extra := crossing - oneTrack
@@ -201,10 +201,10 @@ func TestPriorityClassesDominates(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		i := i
 		d.Submit(&Request{Start: int64(100+i) * 672, Count: 8, Priority: 0,
-			OnDone: func(_, _ float64) { order = append(order, i) }})
+			OnDone: func(_, _ float64, _ Status) { order = append(order, i) }})
 	}
 	d.Submit(&Request{Start: 500 * 672, Count: 8, Priority: 1,
-		OnDone: func(_, _ float64) { order = append(order, 99) }})
+		OnDone: func(_, _ float64, _ Status) { order = append(order, 99) }})
 	eng.Run()
 	if order[0] != 99 {
 		t.Fatalf("high-priority request served at position %v (order %v)", order[0], order)
@@ -222,7 +222,7 @@ func TestCvscanBiasZeroIsSSTF(t *testing.T) {
 	for _, cyl := range []int64{500, 390, 410} {
 		cyl := cyl
 		d.Submit(&Request{Start: cyl * spc, Count: 8,
-			OnDone: func(_, _ float64) { order = append(order, cyl) }})
+			OnDone: func(_, _ float64, _ Status) { order = append(order, cyl) }})
 	}
 	eng.Run()
 	if order[0] != 390 && order[0] != 410 {
@@ -245,7 +245,7 @@ func TestCvscanScanBiasMaintainsDirection(t *testing.T) {
 	for _, cyl := range []int64{390, 420} {
 		cyl := cyl
 		d.Submit(&Request{Start: cyl * spc, Count: 8,
-			OnDone: func(_, _ float64) { order = append(order, cyl) }})
+			OnDone: func(_, _ float64, _ Status) { order = append(order, cyl) }})
 	}
 	eng.Run()
 	if order[0] != 420 {
@@ -272,11 +272,11 @@ func TestUtilizationBounded(t *testing.T) {
 func TestRequestsDuringServiceQueue(t *testing.T) {
 	eng, d := newTestDisk(t)
 	served := 0
-	d.Submit(&Request{Start: 0, Count: 8, OnDone: func(_, _ float64) {
+	d.Submit(&Request{Start: 0, Count: 8, OnDone: func(_, _ float64, _ Status) {
 		served++
 		// Disk reports not busy only after queue drains.
 	}})
-	d.Submit(&Request{Start: 672, Count: 8, OnDone: func(_, _ float64) { served++ }})
+	d.Submit(&Request{Start: 672, Count: 8, OnDone: func(_, _ float64, _ Status) { served++ }})
 	if d.QueueLen() != 1 {
 		t.Fatalf("queue len = %d, want 1 (one in service, one waiting)", d.QueueLen())
 	}
@@ -284,4 +284,61 @@ func TestRequestsDuringServiceQueue(t *testing.T) {
 	if served != 2 || d.Busy() {
 		t.Fatalf("served=%d busy=%v", served, d.Busy())
 	}
+}
+
+func TestFaultHookOutcomes(t *testing.T) {
+	eng, d := newTestDisk(t)
+	// Script outcomes: first request times out, second hits a media
+	// error, third succeeds.
+	script := []Status{Timeout, MediaError, OK}
+	i := 0
+	d.SetFaultHook(func(start int64, count int, write bool) Status {
+		st := script[i]
+		i++
+		return st
+	}, 40)
+
+	var got []Status
+	var stalls []float64
+	for n := 0; n < 3; n++ {
+		d.Submit(&Request{Start: 1000, Count: 8, OnDone: func(s, f float64, st Status) {
+			got = append(got, st)
+			stalls = append(stalls, f-s)
+		}})
+	}
+	eng.Run()
+
+	if len(got) != 3 || got[0] != Timeout || got[1] != MediaError || got[2] != OK {
+		t.Fatalf("statuses %v, want [timeout media-error ok]", got)
+	}
+	// The timeout stalls exactly the configured window; the media error
+	// pays real service time (seek + rotate + transfer > 0).
+	if stalls[0] != 40 {
+		t.Fatalf("timeout stall %v ms, want 40", stalls[0])
+	}
+	if stalls[1] <= 0 || stalls[2] <= 0 {
+		t.Fatalf("service times %v, want positive", stalls[1:])
+	}
+	st := d.Stats()
+	if st.Timeouts != 1 || st.MediaErrors != 1 {
+		t.Fatalf("stats timeouts=%d mediaErrors=%d, want 1/1", st.Timeouts, st.MediaErrors)
+	}
+	// A timed-out transfer moves no sectors; the two served ones do.
+	if st.SectorsMoved != 16 {
+		t.Fatalf("sectors moved %d, want 16", st.SectorsMoved)
+	}
+}
+
+func TestFaultHookTimeoutKeepsArmStill(t *testing.T) {
+	eng, d := newTestDisk(t)
+	d.Submit(&Request{Start: d.Geometry().SectorsPerCylinder() * 100, Count: 8})
+	eng.Run()
+	was := d.HeadCylinder()
+	d.SetFaultHook(func(int64, int, bool) Status { return Timeout }, 25)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	if d.HeadCylinder() != was {
+		t.Fatalf("head moved to %d during a timeout, want %d", d.HeadCylinder(), was)
+	}
+	d.SetFaultHook(nil, 0)
 }

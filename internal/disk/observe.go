@@ -16,6 +16,7 @@ type Event struct {
 	Sectors  int
 	Write    bool
 	Priority int
+	Status   Status // OK, MediaError, or Timeout
 }
 
 // SetObserver registers a callback invoked at every request completion.

@@ -355,3 +355,36 @@ func TestExtReliabilityMonotone(t *testing.T) {
 		t.Errorf("MTTDL at α=0.2 (%.0f y) !> α=1.0 (%.0f y)", rows[0].MTTDLYears, rows[1].MTTDLYears)
 	}
 }
+
+func TestDoubleFailureLossMatchesAlpha(t *testing.T) {
+	// The acceptance claim: a declustered layout loses a fraction of the
+	// at-risk stripes within 20% of α = (G−1)/(C−1), while RAID 5 (G=C)
+	// loses every stripe at risk — and every stripe is at risk.
+	o := fastOpts()
+	pts, tab, err := DoubleFailureLoss(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(pts) || len(pts) == 0 {
+		t.Fatalf("table/points mismatch: %d rows, %d points", len(tab.Rows), len(pts))
+	}
+	for _, p := range pts {
+		if p.StripesAtRisk == 0 {
+			t.Fatalf("G=%d: no stripes at risk after a disk failure", p.G)
+		}
+		if p.G == 21 {
+			if p.LostFraction != 1 {
+				t.Errorf("RAID 5 lost fraction %.3f, want 1", p.LostFraction)
+			}
+			continue
+		}
+		if rel := p.LostFraction/p.Alpha - 1; rel < -0.2 || rel > 0.2 {
+			t.Errorf("G=%d: lost fraction %.3f vs α=%.3f (%.0f%% off)",
+				p.G, p.LostFraction, p.Alpha, 100*rel)
+		}
+		if p.UnitsLost < 2*p.StripesLost {
+			t.Errorf("G=%d: %d units over %d lost stripes; want ≥2 per stripe",
+				p.G, p.UnitsLost, p.StripesLost)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// simulated disk array. It models the three failure classes that dominate
+// real array reliability (Thomasian, arXiv:1801.08873):
+//
+//   - full-disk failures, via exponential or Weibull lifetime sampling
+//     (the lifecycle driver decides when to apply them);
+//   - latent sector errors (LSEs), arriving per disk as a Poisson process
+//     proportional to its capacity, discovered only when the sector is
+//     next read, and healed when it is next written (remapping);
+//   - transient request faults, an independent per-request timeout
+//     probability; a retry draws a fresh outcome.
+//
+// Determinism contract: every random draw comes from per-slot RNG streams
+// derived from one seed, and all injector activity rides the simulation
+// engine's deterministic event order — the same seed and configuration
+// produce byte-identical fault sequences. With zero rates the injector
+// schedules no events and draws nothing, so a disabled injector leaves a
+// simulation bit-for-bit identical to one with no injector at all.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"declust/internal/disk"
+	"declust/internal/metrics"
+	"declust/internal/sim"
+)
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every random draw. Distinct from the workload seed so
+	// fault processes never perturb arrival processes.
+	Seed int64
+	// LSERatePerGBHour is the latent-sector-error arrival rate per GB of
+	// disk capacity per simulated hour. Real drives sit around 1e-5 to
+	// 1e-4; accelerated simulations use much larger values.
+	LSERatePerGBHour float64
+	// TransientRate is the probability that any one request times out.
+	// Must be in [0, 0.9]: retries draw independently, so service always
+	// terminates, but rates near 1 would make retry storms unbounded.
+	TransientRate float64
+	// TimeoutMS is the stall a timed-out request costs; 0 selects 50 ms.
+	TimeoutMS float64
+	// Tracer, when non-nil, receives an EvLSE event per arrival.
+	Tracer metrics.Tracer
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	LSEArrivals int64 // latent sector errors injected
+	BadSectors  int64 // currently latent (injected, not yet healed)
+	Healed      int64 // bad sectors cleared by writes
+}
+
+// Injector owns the fault state of every disk slot in one array.
+type Injector struct {
+	eng  *sim.Engine
+	cfg  Config
+	geom disk.Geometry
+
+	rngs     []*rand.Rand
+	bad      []map[int64]bool // per-slot latent sector set
+	arrivals []*sim.Event     // pending LSE arrival per slot
+	stopped  bool
+	stats    Stats
+
+	lseRatePerMS float64 // per-disk arrival rate, events per simulated ms
+}
+
+// New builds an injector for an array of `disks` slots of the given
+// geometry. It schedules nothing until Start.
+func New(eng *sim.Engine, geom disk.Geometry, disks int, cfg Config) (*Injector, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if disks <= 0 {
+		return nil, fmt.Errorf("fault: %d disks", disks)
+	}
+	if cfg.LSERatePerGBHour < 0 {
+		return nil, fmt.Errorf("fault: negative LSE rate %v", cfg.LSERatePerGBHour)
+	}
+	if cfg.TransientRate < 0 || cfg.TransientRate > 0.9 {
+		return nil, fmt.Errorf("fault: transient rate %v outside [0, 0.9]", cfg.TransientRate)
+	}
+	if cfg.TimeoutMS == 0 {
+		cfg.TimeoutMS = 50
+	}
+	if cfg.TimeoutMS < 0 {
+		return nil, fmt.Errorf("fault: negative timeout %v ms", cfg.TimeoutMS)
+	}
+	gb := float64(geom.TotalSectors()) * float64(geom.BytesPerSector) / (1 << 30)
+	in := &Injector{
+		eng:          eng,
+		cfg:          cfg,
+		geom:         geom,
+		rngs:         make([]*rand.Rand, disks),
+		bad:          make([]map[int64]bool, disks),
+		arrivals:     make([]*sim.Event, disks),
+		lseRatePerMS: cfg.LSERatePerGBHour * gb / 3_600_000,
+	}
+	for i := range in.rngs {
+		in.rngs[i] = rand.New(rand.NewSource(streamSeed(cfg.Seed, i)))
+		in.bad[i] = make(map[int64]bool)
+	}
+	return in, nil
+}
+
+// streamSeed derives a well-mixed per-slot seed so neighboring slots get
+// uncorrelated streams.
+func streamSeed(seed int64, slot int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(slot) + 1
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// TimeoutMS returns the configured transient stall.
+func (in *Injector) TimeoutMS() float64 { return in.cfg.TimeoutMS }
+
+// Stats returns a copy of the activity counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// BadSectors reports the current latent error count on one slot.
+func (in *Injector) BadSectors(slot int) int { return len(in.bad[slot]) }
+
+// Start begins the per-slot LSE arrival processes. A zero LSE rate
+// schedules nothing.
+func (in *Injector) Start() {
+	if in.lseRatePerMS <= 0 {
+		return
+	}
+	in.stopped = false
+	for slot := range in.bad {
+		in.scheduleLSE(slot)
+	}
+}
+
+// Stop cancels every pending arrival so the engine can drain. Latent
+// errors already injected remain until healed.
+func (in *Injector) Stop() {
+	in.stopped = true
+	for slot, ev := range in.arrivals {
+		if ev != nil {
+			in.eng.Cancel(ev)
+			in.arrivals[slot] = nil
+		}
+	}
+}
+
+func (in *Injector) scheduleLSE(slot int) {
+	delay := in.rngs[slot].ExpFloat64() / in.lseRatePerMS
+	in.arrivals[slot] = in.eng.Schedule(delay, func() {
+		if in.stopped {
+			return
+		}
+		sector := in.rngs[slot].Int63n(in.geom.TotalSectors())
+		if !in.bad[slot][sector] {
+			in.bad[slot][sector] = true
+			in.stats.LSEArrivals++
+			in.stats.BadSectors++
+			if in.cfg.Tracer != nil {
+				in.cfg.Tracer.Fault(metrics.FaultEvent{
+					Ev: metrics.EvLSE, TMS: in.eng.Now(), Disk: slot, Sector: sector,
+				})
+			}
+		}
+		in.scheduleLSE(slot)
+	})
+}
+
+// Hook returns the disk.FaultHook for one slot. Writes heal overlapping
+// latent errors (sector remapping) before the transient draw, so a write
+// never reports a media error; reads report one when any covered sector
+// is latent.
+func (in *Injector) Hook(slot int) disk.FaultHook {
+	return func(start int64, count int, write bool) disk.Status {
+		if write {
+			in.heal(slot, start, count)
+		}
+		if in.cfg.TransientRate > 0 && in.rngs[slot].Float64() < in.cfg.TransientRate {
+			return disk.Timeout
+		}
+		if !write && len(in.bad[slot]) > 0 {
+			for s := start; s < start+int64(count); s++ {
+				if in.bad[slot][s] {
+					return disk.MediaError
+				}
+			}
+		}
+		return disk.OK
+	}
+}
+
+func (in *Injector) heal(slot int, start int64, count int) {
+	if len(in.bad[slot]) == 0 {
+		return
+	}
+	for s := start; s < start+int64(count); s++ {
+		if in.bad[slot][s] {
+			delete(in.bad[slot], s)
+			in.stats.BadSectors--
+			in.stats.Healed++
+		}
+	}
+}
+
+// ResetDisk clears a slot's latent errors — call when a fresh drive is
+// installed in it. The slot keeps its RNG stream: replacement changes
+// which faults the new drive sees, not the determinism of the run.
+func (in *Injector) ResetDisk(slot int) {
+	n := int64(len(in.bad[slot]))
+	in.stats.BadSectors -= n
+	in.stats.Healed += n
+	in.bad[slot] = make(map[int64]bool)
+}
+
+// LifetimeMS samples one disk lifetime in simulated milliseconds with the
+// given mean. shape <= 0 or shape == 1 selects the exponential
+// distribution; any other shape selects a Weibull with that shape and the
+// scale matched to the mean (shape < 1 models infant mortality and
+// clustered failures, shape > 1 wear-out).
+func LifetimeMS(rng *rand.Rand, shape, meanMS float64) float64 {
+	if shape <= 0 || shape == 1 {
+		return rng.ExpFloat64() * meanMS
+	}
+	scale := meanMS / math.Gamma(1+1/shape)
+	u := rng.Float64()
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}

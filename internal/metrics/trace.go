@@ -13,6 +13,9 @@ const (
 	EvReconStart = "recon_start" // reconstruction sweep began
 	EvReconCycle = "recon_cycle" // one reconstruction cycle finished
 	EvReconDone  = "recon_done"  // every lost unit is live again
+	EvLSE        = "lse"         // a latent sector error arrived on a platter
+	EvRepair     = "repair"      // a latent error was repaired from parity
+	EvDataLoss   = "data_loss"   // a stripe lost more units than parity covers
 )
 
 // AccessEvent records one user access's lifecycle.
@@ -53,6 +56,19 @@ type ReconEvent struct {
 	WriteMS    float64 `json:"write_ms"`
 }
 
+// FaultEvent records fault-injection activity: LSE arrivals (Disk +
+// Sector), parity repairs of latent errors (Stripe + Unit), and data-loss
+// events (Stripe + LostUnits when redundancy was exceeded).
+type FaultEvent struct {
+	Ev        string  `json:"ev"`
+	TMS       float64 `json:"t_ms"`
+	Disk      int     `json:"disk"`
+	Sector    int64   `json:"sector"`
+	Stripe    int64   `json:"stripe"`
+	Unit      int     `json:"unit"`
+	LostUnits int     `json:"lost_units"`
+}
+
 // Tracer receives structured simulation events. Implementations must not
 // perturb the simulation: they are called off the timing path. The
 // simulator guards every call site with a nil check, so a nil Tracer is
@@ -61,6 +77,7 @@ type Tracer interface {
 	Access(e AccessEvent)
 	Disk(e DiskEvent)
 	Recon(e ReconEvent)
+	Fault(e FaultEvent)
 }
 
 // Nop is a Tracer that discards everything.
@@ -74,6 +91,9 @@ func (Nop) Disk(DiskEvent) {}
 
 // Recon implements Tracer.
 func (Nop) Recon(ReconEvent) {}
+
+// Fault implements Tracer.
+func (Nop) Fault(FaultEvent) {}
 
 // JSONL writes each event as one JSON object per line, in emission order:
 // deterministic for a deterministic simulation. Call Flush before reading
@@ -111,6 +131,10 @@ func (j *JSONL) Disk(e DiskEvent) { e.Ev = EvDisk; j.emit(e) }
 // Recon implements Tracer. The event's Ev field must already name a
 // reconstruction milestone (EvReconStart, EvReconCycle, EvReconDone).
 func (j *JSONL) Recon(e ReconEvent) { j.emit(e) }
+
+// Fault implements Tracer. The event's Ev field must already name a fault
+// kind (EvLSE, EvRepair, EvDataLoss).
+func (j *JSONL) Fault(e FaultEvent) { j.emit(e) }
 
 // Flush drains the buffer and reports the first error encountered by any
 // emission.

@@ -15,17 +15,51 @@ import (
 	"math/rand"
 )
 
+// RepairDist selects the repair-time distribution.
+type RepairDist int
+
+const (
+	// DeterministicRepair uses a fixed window of MTTRHours — the right
+	// model when MTTR comes from a measured reconstruction time.
+	DeterministicRepair RepairDist = iota
+	// ExponentialRepair draws each window from an exponential with mean
+	// MTTRHours — the classical Markov-model assumption, matching the
+	// closed form in internal/analytic more exactly.
+	ExponentialRepair
+)
+
 // Params describes the array lifecycle.
 type Params struct {
 	C         int     // disks in the array
 	MTTFHours float64 // mean time to failure of one disk
-	MTTRHours float64 // repair window (≈ measured reconstruction time)
+	MTTRHours float64 // mean repair window (≈ measured reconstruction time)
 	Seed      int64
+
+	// RepairDist selects fixed or exponential repair windows.
+	RepairDist RepairDist
+
+	// LSERatePerDiskHour is the Poisson arrival rate of latent sector
+	// errors per disk per hour; 0 disables the LSE pathway. A latent
+	// error is harmless until a rebuild reads the disk that carries it:
+	// then the stripe has lost two units and data is gone.
+	LSERatePerDiskHour float64
+	// ScrubIntervalHours bounds a latent error's lifetime: the scrubber
+	// rereads every sector each interval and repairs errors from parity,
+	// so at a random instant a sector's unverified age is Uniform(0, S).
+	// 0 disables scrubbing — errors then persist until the next rebuild
+	// reads every surviving disk in full.
+	ScrubIntervalHours float64
 }
 
 func (p Params) validate() error {
 	if p.C < 2 || p.MTTFHours <= 0 || p.MTTRHours <= 0 {
 		return fmt.Errorf("reliability: invalid parameters %+v", p)
+	}
+	if p.RepairDist != DeterministicRepair && p.RepairDist != ExponentialRepair {
+		return fmt.Errorf("reliability: unknown repair distribution %d", p.RepairDist)
+	}
+	if p.LSERatePerDiskHour < 0 || p.ScrubIntervalHours < 0 {
+		return fmt.Errorf("reliability: negative LSE rate or scrub interval %+v", p)
 	}
 	return nil
 }
@@ -67,21 +101,74 @@ func SimulateMTTDL(p Params, trials int) (Result, error) {
 }
 
 // lifetime simulates one array from new until data loss, returning hours.
+// Loss happens two ways: a second whole-disk failure inside the repair
+// window, or a latent sector error on a surviving disk discovered by the
+// rebuild's full read of the survivors (the stripe then has two dead
+// units). Scrubbing shrinks the second pathway by bounding how long an
+// error can lie latent.
 func lifetime(p Params, rng *rand.Rand) float64 {
 	t := 0.0
+	tClean := 0.0 // when every disk's surface was last fully verified
 	c := float64(p.C)
 	for {
 		// Time to the first failure among C healthy disks.
 		t += rng.ExpFloat64() * p.MTTFHours / c
+
+		repair := p.MTTRHours
+		if p.RepairDist == ExponentialRepair {
+			repair = rng.ExpFloat64() * p.MTTRHours
+		}
+
 		// During the repair window, C−1 disks remain; by memorylessness
 		// the time to the next failure is exponential with rate
 		// (C−1)/MTTF.
 		next := rng.ExpFloat64() * p.MTTFHours / (c - 1)
-		if next < p.MTTRHours {
+
+		// The rebuild reads every survivor in full; any latent error it
+		// hits is beyond parity's reach. P(all C−1 survivors clean)
+		// depends on how long errors could accumulate: a scrubbed
+		// sector's unverified age is Uniform(0, S) (so a survivor is
+		// clean with probability E[e^{−λA}] = (1−e^{−λS})/(λS)); without
+		// scrubbing errors persist since the last full verification.
+		if p.LSERatePerDiskHour > 0 && rng.Float64() > pAllClean(p, t-tClean) {
+			// The sweep reads the survivors throughout the window, so a
+			// bad sector surfaces mid-rebuild on average.
+			lse := repair / 2
+			if next < lse {
+				return t + next
+			}
+			return t + lse
+		}
+
+		if next < repair {
 			return t + next // second failure inside the window: data loss
 		}
-		t += p.MTTRHours // repaired; all C disks healthy again
+		// Repaired. The rebuild verified every survivor and wrote the
+		// replacement afresh, so the whole array is clean again.
+		t += repair
+		tClean = t
 	}
+}
+
+// pAllClean returns the probability that none of the C−1 surviving disks
+// carries a latent sector error at rebuild time, given the time since the
+// last full verification of the array.
+func pAllClean(p Params, sinceClean float64) float64 {
+	lam := p.LSERatePerDiskHour
+	var perDisk float64
+	if s := p.ScrubIntervalHours; s > 0 {
+		age := s
+		if sinceClean < age {
+			age = sinceClean // young array: nothing older than tClean
+		}
+		if age <= 0 {
+			return 1
+		}
+		perDisk = (1 - math.Exp(-lam*age)) / (lam * age)
+	} else {
+		perDisk = math.Exp(-lam * sinceClean)
+	}
+	return math.Pow(perDisk, float64(p.C-1))
 }
 
 // DataLossProbability estimates the probability of data loss within

@@ -31,6 +31,82 @@ func TestSimulatedMTTDLMatchesAnalytic(t *testing.T) {
 	}
 }
 
+func TestExponentialRepairMatchesAnalytic(t *testing.T) {
+	// The exponential-repair Markov model's exact MTTDL is
+	// ((2C−1)λ+μ)/(C(C−1)λ²) with λ=1/MTTF, μ=1/MTTR; for MTTR << MTTF
+	// it collapses to the same closed form the analytic package uses.
+	// Cross-validate the simulation against both within tolerance.
+	p := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 5, RepairDist: ExponentialRepair}
+	res, err := SimulateMTTDL(p, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, mu := 1/p.MTTFHours, 1/p.MTTRHours
+	exact := ((2*21-1)*lam + mu) / (21 * 20 * lam * lam)
+	if diff := math.Abs(res.MTTDLHours - exact); diff > 4*res.StdErrHours {
+		t.Fatalf("exponential-repair MTTDL %.3g ± %.2g, Markov exact %.3g (off by %.1f σ)",
+			res.MTTDLHours, res.StdErrHours, exact, diff/res.StdErrHours)
+	}
+	a, err := analytic.Reliability{C: 21, MTTFHours: 150_000, MTTRHours: 2}.MTTDLHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The approximation itself is within a fraction of a percent here;
+	// the simulation should sit within 5% of it.
+	if rel := math.Abs(res.MTTDLHours-a) / a; rel > 0.05 {
+		t.Fatalf("exponential-repair MTTDL %.3g vs closed form %.3g (%.1f%% off)",
+			res.MTTDLHours, a, 100*rel)
+	}
+}
+
+func TestLatentErrorsLowerMTTDL(t *testing.T) {
+	base := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 6}
+	clean, err := SimulateMTTDL(base, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsy := base
+	lsy.LSERatePerDiskHour = 1e-5
+	lossy, err := SimulateMTTDL(lsy, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.MTTDLHours >= clean.MTTDLHours/2 {
+		t.Fatalf("LSEs barely moved MTTDL: %.3g vs clean %.3g",
+			lossy.MTTDLHours, clean.MTTDLHours)
+	}
+}
+
+func TestScrubbingRaisesMTTDL(t *testing.T) {
+	// The acceptance claim: at a fixed LSE rate, scrubbing measurably
+	// raises MTTDL by bounding how long errors lie latent.
+	base := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 7, LSERatePerDiskHour: 1e-5}
+	unscrubbed, err := SimulateMTTDL(base, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrubbed := base
+	scrubbed.ScrubIntervalHours = 168 // weekly
+	s, err := SimulateMTTDL(scrubbed, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MTTDLHours < 2*unscrubbed.MTTDLHours {
+		t.Fatalf("weekly scrub MTTDL %.3g not measurably above unscrubbed %.3g",
+			s.MTTDLHours, unscrubbed.MTTDLHours)
+	}
+	// More frequent scrubbing helps more.
+	daily := base
+	daily.ScrubIntervalHours = 24
+	d, err := SimulateMTTDL(daily, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MTTDLHours <= s.MTTDLHours {
+		t.Fatalf("daily scrub MTTDL %.3g not above weekly %.3g", d.MTTDLHours, s.MTTDLHours)
+	}
+}
+
 func TestShorterRepairImprovesReliability(t *testing.T) {
 	// The whole reason reconstruction time matters (paper §2/§8).
 	fast, err := SimulateMTTDL(Params{C: 21, MTTFHours: 150_000, MTTRHours: 0.5, Seed: 2}, 1500)
@@ -92,6 +168,11 @@ func TestValidation(t *testing.T) {
 		{C: 5, MTTFHours: 0, MTTRHours: 1},
 		{C: 5, MTTFHours: 1, MTTRHours: 0},
 	}
+	bad = append(bad,
+		Params{C: 5, MTTFHours: 1, MTTRHours: 1, LSERatePerDiskHour: -1},
+		Params{C: 5, MTTFHours: 1, MTTRHours: 1, ScrubIntervalHours: -1},
+		Params{C: 5, MTTFHours: 1, MTTRHours: 1, RepairDist: RepairDist(9)},
+	)
 	for i, p := range bad {
 		if _, err := SimulateMTTDL(p, 10); err == nil {
 			t.Errorf("params %d accepted", i)
