@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench vet fmt-check fault-smoke verify clean
+# The perf-gate benchmarks: the end-to-end fault-free pair (allocations and
+# events/req are part of the contract) plus the event-engine microbenches.
+BENCH_PATTERN ?= FaultFree|Schedule
+BENCH_PKGS ?= . ./internal/sim
+
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race vet fmt-check fault-smoke verify clean
 
 all: build
 
@@ -21,6 +26,20 @@ bench-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
+# Record the perf-gate benchmarks as the next bench/BENCH_<n>.json baseline.
+bench-save:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -save
+
+# Compare a fresh run against the latest baseline; fails on any metric more
+# than 10% worse. Override the gate with BENCHDIFF_THRESHOLD (fraction, e.g.
+# 0.5 on noisy shared runners) — benchdiff reads it as its default.
+bench-diff:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -diff
+
+# Race pass over the parallel sweep driver and the commands that expose -j.
+sweep-race:
+	$(GO) test -race ./internal/experiments/... ./cmd/...
+
 vet:
 	$(GO) vet ./...
 
@@ -39,8 +58,9 @@ fault-smoke:
 	$(GO) run ./examples/continuous
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
-# test suite, the fault-injection smoke, and a benchmark smoke pass.
-verify: fmt-check vet build race fault-smoke bench-smoke
+# test suite, the fault-injection and parallel-sweep race smokes, and a
+# benchmark smoke pass.
+verify: fmt-check vet build race fault-smoke sweep-race bench-smoke
 	@echo "verify: OK"
 
 clean:

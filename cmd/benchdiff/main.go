@@ -1,0 +1,134 @@
+// Command benchdiff turns `go test -bench` output into checked-in JSON
+// baselines and gates regressions against them.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -benchmem ./... | benchdiff -save
+//	go test -run='^$' -bench=... -benchmem ./... | benchdiff -diff
+//	... | benchdiff -diff -threshold 0.25     # loosen the gate
+//
+// -save parses stdin and writes bench/BENCH_<n>.json, one past the highest
+// existing baseline number. -diff parses stdin, compares it against the
+// highest-numbered baseline, prints one line per (benchmark, metric), and
+// exits nonzero if any metric regressed beyond the threshold (default 10%;
+// override with -threshold, or BENCHDIFF_THRESHOLD in CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"declust/internal/benchio"
+)
+
+func main() {
+	save := flag.Bool("save", false, "parse stdin and write the next bench/BENCH_<n>.json baseline")
+	diff := flag.Bool("diff", false, "parse stdin and compare against the latest baseline")
+	dir := flag.String("dir", "bench", "baseline directory")
+	threshold := flag.Float64("threshold", defaultThreshold(),
+		"fractional slowdown tolerated before failing (BENCHDIFF_THRESHOLD overrides the default)")
+	flag.Parse()
+	if *save == *diff {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -save or -diff required")
+		os.Exit(2)
+	}
+
+	suite, err := benchio.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *save {
+		path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", latestN(*dir)+1))
+		data, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d benchmark(s) to %s\n", len(suite.Results), path)
+		return
+	}
+
+	n := latestN(*dir)
+	if n == 0 {
+		fatal(fmt.Errorf("no BENCH_<n>.json baselines in %s (run benchdiff -save first)", *dir))
+	}
+	path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base benchio.Suite
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	deltas := benchio.Compare(base, suite, *threshold)
+	if len(deltas) == 0 {
+		fatal(fmt.Errorf("no benchmarks in common with %s", path))
+	}
+	fmt.Printf("baseline %s, threshold %.0f%%\n", path, *threshold*100)
+	fmt.Printf("%-40s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "ratio")
+	bad := 0
+	for _, d := range deltas {
+		fmt.Println(d.Format())
+		if d.Regression {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", bad, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+// defaultThreshold reads BENCHDIFF_THRESHOLD so CI can loosen the gate on
+// noisy shared runners without editing the Makefile.
+func defaultThreshold() float64 {
+	if s := os.Getenv("BENCHDIFF_THRESHOLD"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.10
+}
+
+// latestN returns the highest n among dir's BENCH_<n>.json files, 0 if none.
+func latestN(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var ns []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json")); err == nil {
+			ns = append(ns, n)
+		}
+	}
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Ints(ns)
+	return ns[len(ns)-1]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 //	experiments                 # everything, full-scale disks (minutes)
 //	experiments -scale 10       # 1/10-scale disks (fast preview)
 //	experiments -run fig8-1     # one experiment
+//	experiments -j 8            # fan sweep points over 8 workers
 //
 // Experiments: fig4-3, fig6-1, fig6-2, fig8 (8-1..8-4), table8-1, fig8-6,
 // ext-throttle, ext-priority, ext-mttdl, ext-datamap, ext-mirror,
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,9 +29,14 @@ func main() {
 	scale := flag.Int("scale", 1, "disk capacity divisor (1 = full IBM 0661)")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("j", 1,
+		"parallel sweep workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed}
+	o := experiments.Options{Seed: *seed, Workers: *workers}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *scale > 1 {
 		o.ScaleNum, o.ScaleDen = 1, *scale
 	}

@@ -7,6 +7,12 @@
 //	raidsim -mode faultfree -g 21 -rate 378 -reads 1
 //	raidsim -mode degraded -g 10 -rate 105 -reads 0 -scale 10
 //
+// Sweeps (cross-product of comma-separated lists, one row per point;
+// -j N fans points over N workers with byte-identical output):
+//
+//	raidsim -mode recon -sweep-g 3,5,11,21 -j 4
+//	raidsim -mode faultfree -sweep-g 5,21 -sweep-rate 105,210,315 -j 0
+//
 // Fault injection:
 //
 //	raidsim -mode recon -lse-rate 1000 -transient-rate 0.01 -scrub-interval 50 -fault-seed 7
@@ -25,8 +31,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
+	"declust/internal/experiments"
 	"declust/internal/trace"
 
 	"declust"
@@ -67,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeoutMS := fs.Float64("timeout-ms", 0, "stall per transient timeout in simulated ms (0 = 50)")
 	scrubInterval := fs.Float64("scrub-interval", 0, "simulated ms between scrubbed stripes (0 = no scrubbing)")
 	secondFailure := fs.Bool("second-failure", false, "enumerate double-failure damage for this layout and exit (no simulation)")
+	sweepG := fs.String("sweep-g", "", "comma-separated parity stripe sizes: run one point per (g, rate) pair")
+	sweepRate := fs.String("sweep-rate", "", "comma-separated access rates for the sweep cross-product")
+	workers := fs.Int("j", 1, "parallel sweep workers (0 = GOMAXPROCS); output is identical for any value")
 	traceOut := fs.String("trace", "", "write the measured user accesses to this trace file")
 	replayIn := fs.String("replay", "", "replay a trace file instead of the synthetic workload")
 	metricsOut := fs.String("metrics", "", "write Prometheus-style metrics to this file")
@@ -115,6 +127,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ScrubIntervalMS:  *scrubInterval,
 	}
 	faultsOn := *lseRate > 0 || *transientRate > 0 || *scrubInterval > 0
+
+	if *sweepG != "" || *sweepRate != "" {
+		if *traceOut != "" || *replayIn != "" || *metricsOut != "" || *seriesOut != "" ||
+			*eventsOut != "" || *cpuprofile != "" || *memprofile != "" || *progress {
+			return fmt.Errorf("sweep mode does not combine with per-run outputs (-trace, -replay, -metrics, -series, -events, -progress, profiles)")
+		}
+		gs, err := parseIntList(*sweepG, *g)
+		if err != nil {
+			return fmt.Errorf("-sweep-g: %w", err)
+		}
+		rates, err := parseFloatList(*sweepRate, *rate)
+		if err != nil {
+			return fmt.Errorf("-sweep-rate: %w", err)
+		}
+		w := *workers
+		if w == 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		return runSweep(stdout, cfg, *mode, gs, rates, w)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -281,6 +313,98 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runSweep simulates the cross-product of parity stripe sizes and access
+// rates, one independent simulation per point, and prints one row per point
+// in sweep order. Each point builds its own engine, array and RNG streams
+// from the shared base config, so fanning the points over workers changes
+// wall-clock time only: every row is formatted by the point that produced it
+// and printed in index order, making the output byte-identical for any -j.
+func runSweep(stdout io.Writer, base declust.SimConfig, mode string, gs []int, rates []float64, workers int) error {
+	type point struct {
+		g    int
+		rate float64
+	}
+	var pts []point
+	for _, g := range gs {
+		for _, r := range rates {
+			pts = append(pts, point{g, r})
+		}
+	}
+	fmt.Fprintf(stdout, "sweep:  %d point(s), mode %s, seed %d\n", len(pts), mode, base.Seed)
+	if mode == "recon" {
+		fmt.Fprintln(stdout, "    g     rate   mean ms    P90 ms   recon min      events")
+	} else {
+		fmt.Fprintln(stdout, "    g     rate   mean ms    P90 ms      events")
+	}
+	rows, err := experiments.RunPoints(workers, len(pts), func(i int) (string, error) {
+		cfg := base
+		cfg.G = pts[i].g
+		cfg.RatePerSec = pts[i].rate
+		var res declust.Metrics
+		var err error
+		switch mode {
+		case "faultfree":
+			res, err = declust.RunFaultFree(cfg)
+		case "degraded":
+			res, err = declust.RunDegraded(cfg)
+		case "recon":
+			res, err = declust.RunReconstruction(cfg)
+		default:
+			err = fmt.Errorf("unknown mode %q", mode)
+		}
+		if err != nil {
+			return "", fmt.Errorf("sweep g=%d rate=%g: %w", pts[i].g, pts[i].rate, err)
+		}
+		if mode == "recon" {
+			return fmt.Sprintf("%5d %8.0f %9.1f %9.1f %11.1f %11d",
+				pts[i].g, pts[i].rate, res.MeanResponseMS, res.P90ResponseMS,
+				res.ReconTimeMS/60_000, res.EngineEvents), nil
+		}
+		return fmt.Sprintf("%5d %8.0f %9.1f %9.1f %11d",
+			pts[i].g, pts[i].rate, res.MeanResponseMS, res.P90ResponseMS, res.EngineEvents), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintln(stdout, r)
+	}
+	return nil
+}
+
+// parseIntList splits a comma-separated int list, or returns [def] when the
+// flag was left empty (so a single-axis sweep only names the axis it varies).
+func parseIntList(s string, def int) ([]int, error) {
+	if s == "" {
+		return []int{def}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloatList is parseIntList for float64 axes.
+func parseFloatList(s string, def float64) ([]float64, error) {
+	if s == "" {
+		return []float64{def}, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // reportSecondFailure prints the damage enumeration for a second

@@ -75,6 +75,44 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepDeterministicAcrossWorkers runs the same sweep serially and
+// fanned over 8 workers and requires byte-identical stdout: parallelism may
+// only change wall-clock time, never a result.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	invoke := func(j string) string {
+		args := []string{
+			"-mode", "recon", "-c", "21", "-scale", "50",
+			"-sweep-g", "3,5,11,21", "-sweep-rate", "105,210",
+			"-rate", "105", "-reads", "0.5", "-procs", "4",
+			"-warmup", "2", "-measure", "10", "-j", j,
+		}
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run -j %s: %v\nstderr: %s", j, err, errb.String())
+		}
+		return out.String()
+	}
+	serial := invoke("1")
+	parallel := invoke("8")
+	if serial != parallel {
+		t.Errorf("sweep output differs between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if n := strings.Count(serial, "\n"); n < 10 {
+		t.Errorf("sweep printed %d lines, want 8 point rows plus headers:\n%s", n, serial)
+	}
+}
+
+// TestSweepRejectsPerRunOutputs keeps the single-run exporters out of sweep
+// mode, where several simulations would race on one output file.
+func TestSweepRejectsPerRunOutputs(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-sweep-g", "3,5", "-events", "x.jsonl"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "sweep mode") {
+		t.Fatalf("got %v, want sweep-mode rejection", err)
+	}
+}
+
 // TestSecondFailureReport checks the enumeration mode: declustered layouts
 // report a lost fraction near α, RAID 5 reports total loss, and the output
 // is deterministic (pure enumeration, no simulation).

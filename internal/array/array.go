@@ -155,10 +155,17 @@ type Array struct {
 	lossEvents     []DataLossEvent
 	doubleFailures []DoubleFailure
 	scrubOn        bool
-	scrubEv        *sim.Event
+	scrubEv        sim.Timer
 	scrubCursor    int64
 	scrubSpacing   float64
 	scrubStats     ScrubStats
+
+	// Free lists for the I/O hot path (see ops.go). Both grow to the
+	// array's peak concurrency and are reused for the run's lifetime, so
+	// steady-state phases and transfers allocate nothing.
+	reqFree   []*ioReq
+	phaseFree []*ioPhase
+	opFree    []*userOp
 
 	// Instrumentation. The counters are nil (no-op) without a registry;
 	// tracer calls are guarded by nil checks.
@@ -255,6 +262,33 @@ func splitmix64(x uint64) uint64 {
 }
 
 func (a *Array) initContents() {
+	if _, ok := a.mapper.(layout.StripeIndexMapper); ok {
+		// Fast path for the paper's stripe-index mapping: one stripe-major
+		// pass fills data and parity together. Data unit numbers increase
+		// with position within a stripe (skipping parity), so this visits
+		// n = 0..dataUnits-1 in order without any inverse-mapping calls.
+		g := a.lay.G()
+		n := int64(0)
+		for s := int64(0); s < a.numStripes; s++ {
+			pp := a.lay.ParityPos(s)
+			var ploc layout.Loc
+			var x uint64
+			for j := 0; j < g; j++ {
+				u := a.lay.Unit(s, j)
+				if j == pp {
+					ploc = u
+					continue
+				}
+				v := splitmix64(uint64(n) + 1)
+				a.expected[n] = v
+				a.contents[u.Disk][u.Offset] = v
+				x ^= v
+				n++
+			}
+			a.contents[ploc.Disk][ploc.Offset] = x
+		}
+		return
+	}
 	for n := int64(0); n < a.dataUnits; n++ {
 		v := splitmix64(uint64(n) + 1)
 		loc := a.mapper.Loc(n)

@@ -28,6 +28,96 @@ const (
 	retryMaxShift = 5
 )
 
+// ioPhase tracks one parallel transfer phase: the countdown of outstanding
+// transfers and the media-error failures collected so far. Phases are
+// pooled on the Array; the fails slice is not reused (callers may retain
+// it past the phase), but fault-free phases never allocate it.
+type ioPhase struct {
+	a     *Array
+	n     int
+	fails []xfer
+	done  func(fails []xfer)
+}
+
+func (a *Array) getPhase() *ioPhase {
+	if n := len(a.phaseFree); n > 0 {
+		ph := a.phaseFree[n-1]
+		a.phaseFree = a.phaseFree[:n-1]
+		return ph
+	}
+	return &ioPhase{a: a}
+}
+
+// finishOne retires one transfer; the last one recycles the phase before
+// invoking done, so done may immediately start a new phase on the same node.
+func (ph *ioPhase) finishOne() {
+	ph.n--
+	if ph.n > 0 {
+		return
+	}
+	a, done, fails := ph.a, ph.done, ph.fails
+	ph.done = nil
+	ph.fails = nil
+	a.phaseFree = append(a.phaseFree, ph)
+	done(fails)
+}
+
+// ioReq wraps one in-flight disk transfer. The embedded disk.Request and
+// the two bound callbacks are allocated once per pooled node, so
+// steady-state transfers — including transient-timeout retries — allocate
+// nothing.
+type ioReq struct {
+	req     disk.Request
+	a       *Array
+	ph      *ioPhase
+	x       xfer
+	target  layout.Loc
+	attempt int
+	retryFn func()
+}
+
+func (a *Array) getReq() *ioReq {
+	if n := len(a.reqFree); n > 0 {
+		r := a.reqFree[n-1]
+		a.reqFree = a.reqFree[:n-1]
+		return r
+	}
+	r := &ioReq{a: a}
+	r.req.OnDone = r.complete
+	r.retryFn = r.resubmit
+	return r
+}
+
+// complete is every transfer's disk.Request OnDone. Timeouts retry with
+// capped exponential backoff on the same node; OK and MediaError outcomes
+// recycle the node and retire the transfer in its phase.
+func (r *ioReq) complete(_, _ float64, st disk.Status) {
+	a := r.a
+	if st == disk.Timeout {
+		a.fstats.Retries++
+		a.mRetries.Inc()
+		shift := r.attempt
+		if shift > retryMaxShift {
+			shift = retryMaxShift
+		}
+		r.attempt++
+		a.eng.Schedule(retryBaseMS*float64(int64(1)<<shift), r.retryFn)
+		return
+	}
+	ph, x := r.ph, r.x
+	r.ph = nil
+	a.reqFree = append(a.reqFree, r)
+	if st == disk.MediaError {
+		a.fstats.MediaErrors++
+		ph.fails = append(ph.fails, x)
+	}
+	ph.finishOne()
+}
+
+func (r *ioReq) resubmit() {
+	r.a.disks[r.target.Disk].Submit(&r.req)
+}
+
 // io issues a set of transfers in parallel and calls done when the last
 // completes, passing the transfers that failed with a media error (always
 // reads under the stock injector; empty on a clean phase). Transient
@@ -44,14 +134,9 @@ func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 	if len(xs) == 0 {
 		panic("array: empty io phase")
 	}
-	n := len(xs)
-	var fails []xfer
-	finishOne := func() {
-		n--
-		if n == 0 {
-			done(fails)
-		}
-	}
+	ph := a.getPhase()
+	ph.n = len(xs)
+	ph.done = done
 	for _, x := range xs {
 		if x.loc.Disk == a.failed {
 			if !x.write {
@@ -63,50 +148,31 @@ func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 				}
 			} else if !a.replacement && a.spareLay == nil {
 				// Dropped write to a dead disk.
-				finishOne()
+				ph.finishOne()
 				continue
 			}
 		}
 		// Under distributed sparing, units of the failed disk live (or
 		// will live) in their stripes' spare slots on survivors.
-		target := a.phys(x.loc)
-		a.submitIO(x, target, prio, 0, func(st disk.Status) {
-			if st == disk.MediaError {
-				a.fstats.MediaErrors++
-				fails = append(fails, x)
-			}
-			finishOne()
-		})
+		a.submitIO(x, a.phys(x.loc), prio, ph)
 	}
 }
 
-// submitIO issues one transfer to its resolved target, retrying transient
-// timeouts with capped exponential backoff; OK and MediaError outcomes
-// surface to onDone. The target is resolved once: a retry lands on the
-// same drive slot the operation chose, even if the array's failure state
-// moved underneath it (the enclosing phase's drop/panic rules already ran).
-func (a *Array) submitIO(x xfer, target layout.Loc, prio, attempt int, onDone func(disk.Status)) {
-	a.disks[target.Disk].Submit(&disk.Request{
-		Start:    a.unitSector(target.Offset),
-		Count:    a.cfg.UnitSectors,
-		Write:    x.write,
-		Priority: prio,
-		OnDone: func(_, _ float64, st disk.Status) {
-			if st != disk.Timeout {
-				onDone(st)
-				return
-			}
-			a.fstats.Retries++
-			a.mRetries.Inc()
-			shift := attempt
-			if shift > retryMaxShift {
-				shift = retryMaxShift
-			}
-			a.eng.Schedule(retryBaseMS*float64(int64(1)<<shift), func() {
-				a.submitIO(x, target, prio, attempt+1, onDone)
-			})
-		},
-	})
+// submitIO issues one transfer to its resolved target. The target is
+// resolved once: a retry lands on the same drive slot the operation chose,
+// even if the array's failure state moved underneath it (the enclosing
+// phase's drop/panic rules already ran).
+func (a *Array) submitIO(x xfer, target layout.Loc, prio int, ph *ioPhase) {
+	r := a.getReq()
+	r.ph = ph
+	r.x = x
+	r.target = target
+	r.attempt = 0
+	r.req.Start = a.unitSector(target.Offset)
+	r.req.Count = a.cfg.UnitSectors
+	r.req.Write = x.write
+	r.req.Priority = prio
+	a.disks[target.Disk].Submit(&r.req)
 }
 
 // reads builds read transfers for a set of locations.
@@ -160,6 +226,68 @@ func (a *Array) dataUnitsOf(stripe int64, except layout.Loc) []layout.Loc {
 	return out
 }
 
+// userOp tracks one user Read or Write through its phases. Nodes are
+// pooled on the Array with every stage continuation pre-bound, so the
+// fault-free request paths allocate nothing in steady state. Degraded-mode
+// and repair paths still build ad-hoc closures — they are rare and
+// latency-bound, not allocation-bound.
+type userOp struct {
+	a         *Array
+	unit      int64
+	loc       layout.Loc
+	stripe    int64
+	ploc      layout.Loc
+	other     layout.Loc // small-write companion data unit
+	value     uint64
+	otherData uint64 // small-write companion's data
+	oldData   uint64 // read-modify-write pre-read
+	oldParity uint64
+	newParity uint64
+	readDone  func(value uint64)
+	writeDone func()
+	xs        [2]xfer // phase transfer buffer; consumed synchronously by io
+
+	// Stage continuations, bound once per node.
+	readPlainFn   func([]xfer)
+	writeLockedFn func()
+	mirrorDoneFn  func([]xfer)
+	swPreFn       func([]xfer)
+	swRepairedFn  func()
+	swCommitFn    func([]xfer)
+	rmwPreFn      func([]xfer)
+	rmwRepairedFn func()
+	rmwCommitFn   func([]xfer)
+	lostParityFn  func([]xfer)
+	finishFn      func()
+}
+
+func (a *Array) getOp() *userOp {
+	if n := len(a.opFree); n > 0 {
+		op := a.opFree[n-1]
+		a.opFree = a.opFree[:n-1]
+		return op
+	}
+	op := &userOp{a: a}
+	op.readPlainFn = op.readPlain
+	op.writeLockedFn = op.writeLocked
+	op.mirrorDoneFn = op.mirrorDone
+	op.swPreFn = op.swPre
+	op.swRepairedFn = op.swRepaired
+	op.swCommitFn = op.swCommit
+	op.rmwPreFn = op.rmwPre
+	op.rmwRepairedFn = op.rmwRepaired
+	op.rmwCommitFn = op.rmwCommit
+	op.lostParityFn = op.lostParity
+	op.finishFn = op.finish
+	return op
+}
+
+func (a *Array) putOp(op *userOp) {
+	op.readDone = nil
+	op.writeDone = nil
+	a.opFree = append(a.opFree, op)
+}
+
 // Read performs a user read of one data unit, invoking done with the value
 // read. In degraded mode, reads of lost units reconstruct on the fly;
 // under the Redirect algorithms, reads of already-reconstructed units go
@@ -170,26 +298,12 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 	}
 	a.mUserReads.Inc()
 	loc := a.mapper.Loc(unit)
-	plain := func() {
-		a.io([]xfer{{loc: loc}}, userPriority, func(fails []xfer) {
-			if len(fails) == 0 {
-				done(a.unitVal(loc))
-				return
-			}
-			// Latent sector error: recover under the stripe lock (the
-			// repair updates the platter, racing parity writers), then
-			// answer — the user's latency includes the recovery.
-			stripe, _ := a.lay.Locate(loc)
-			a.locks.acquire(stripe, func() {
-				a.repairLocked(stripe, fails, userPriority, func() {
-					a.locks.release(stripe)
-					done(a.unitVal(loc))
-				})
-			})
-		})
-	}
 	if loc.Disk != a.failed || a.redirectableRead(loc) {
-		plain()
+		op := a.getOp()
+		op.loc = loc
+		op.readDone = done
+		op.xs[0] = xfer{loc: loc}
+		a.io(op.xs[:1], userPriority, op.readPlainFn)
 		return
 	}
 	// On-the-fly reconstruction under the stripe lock: a consistent
@@ -235,6 +349,28 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 	})
 }
 
+// readPlain completes the direct-read path. The clean case recycles the
+// node before answering; the media-error case falls back to closures for
+// the repair (rare, and its latency is dominated by disk accesses anyway).
+func (op *userOp) readPlain(fails []xfer) {
+	a, loc, done := op.a, op.loc, op.readDone
+	a.putOp(op)
+	if len(fails) == 0 {
+		done(a.unitVal(loc))
+		return
+	}
+	// Latent sector error: recover under the stripe lock (the repair
+	// updates the platter, racing parity writers), then answer — the
+	// user's latency includes the recovery.
+	stripe, _ := a.lay.Locate(loc)
+	a.locks.acquire(stripe, func() {
+		a.repairLocked(stripe, fails, userPriority, func() {
+			a.locks.release(stripe)
+			done(a.unitVal(loc))
+		})
+	})
+}
+
 // redirectableRead reports whether a read of a lost unit may be serviced
 // directly from its reconstructed copy (replacement disk or spare unit).
 // During recovery only the Redirect algorithms do so; once a distributed-
@@ -259,56 +395,64 @@ func (a *Array) Write(unit int64, done func()) {
 		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
 	}
 	a.mUserWrites.Inc()
-	loc := a.mapper.Loc(unit)
-	stripe, _ := a.lay.Locate(loc)
-	value := a.newValue()
-	a.locks.acquire(stripe, func() {
-		a.writeLocked(unit, loc, stripe, value, done)
-	})
+	op := a.getOp()
+	op.unit = unit
+	op.loc = a.mapper.Loc(unit)
+	op.stripe, _ = a.lay.Locate(op.loc)
+	op.value = a.newValue()
+	op.writeDone = done
+	a.locks.acquire(op.stripe, op.writeLockedFn)
+}
+
+// finish releases the stripe lock, recycles the node and delivers the
+// write completion.
+func (op *userOp) finish() {
+	a, done := op.a, op.writeDone
+	a.locks.release(op.stripe)
+	a.putOp(op)
+	done()
 }
 
 // writeLocked chooses the write path with the stripe lock held, so the
 // failure state it sees cannot change under it.
-func (a *Array) writeLocked(unit int64, loc layout.Loc, stripe int64, value uint64, done func()) {
-	ploc := layout.ParityLoc(a.lay, stripe)
-	finish := func() {
-		a.locks.release(stripe)
-		done()
-	}
+func (op *userOp) writeLocked() {
+	a := op.a
+	op.ploc = layout.ParityLoc(a.lay, op.stripe)
 	switch {
-	case a.available(loc) && a.available(ploc):
-		a.writeNormal(unit, loc, stripe, ploc, value, finish)
-	case !a.available(loc):
-		a.writeLostData(unit, loc, stripe, ploc, value, finish)
+	case a.available(op.loc) && a.available(op.ploc):
+		op.writeNormal()
+	case !a.available(op.loc):
+		a.writeLostData(op.unit, op.loc, op.stripe, op.ploc, op.value, op.finishFn)
 	default:
 		// Parity is lost and not reconstructed: there is no value in
 		// updating it, so the write is a single data access (§7); the
 		// parity unit will be recomputed from data when its turn in
 		// the sweep comes.
-		a.io([]xfer{{loc: loc, write: true}}, userPriority, func(_ []xfer) {
-			a.setUnitVal(loc, value)
-			a.expected[unit] = value
-			finish()
-		})
+		op.xs[0] = xfer{loc: op.loc, write: true}
+		a.io(op.xs[:1], userPriority, op.lostParityFn)
 	}
+}
+
+func (op *userOp) lostParity(_ []xfer) {
+	op.a.setUnitVal(op.loc, op.value)
+	op.a.expected[op.unit] = op.value
+	op.finish()
 }
 
 // writeNormal is the fault-free path, also used when the touched units are
 // already reconstructed on the replacement: the four-access
 // read-modify-write, or the three-access small-write when the stripe has
 // exactly three units and the third is readable.
-func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, finish func()) {
+func (op *userOp) writeNormal() {
+	a := op.a
 	if a.lay.G() == 2 {
 		// Mirroring degenerate: the parity unit is a copy of the data
 		// unit, so the write is two plain writes with no pre-reads —
 		// the G=2 declustered layout behaves as declustered mirroring
 		// (Copeland & Keller's interleaved declustering, §3).
-		a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func(_ []xfer) {
-			a.setUnitVal(loc, value)
-			a.setUnitVal(ploc, value)
-			a.expected[unit] = value
-			finish()
-		})
+		op.xs[0] = xfer{loc: op.loc, write: true}
+		op.xs[1] = xfer{loc: op.ploc, write: true}
+		a.io(op.xs[:2], userPriority, op.mirrorDoneFn)
 		return
 	}
 	// Contents feeding parity computations are sampled when the reads
@@ -318,40 +462,69 @@ func (a *Array) writeNormal(unit int64, loc layout.Loc, stripe int64, ploc layou
 	// completion-time sample read fresh zeros instead of what the
 	// platter returned.
 	if a.cfg.SmallWriteOpt && a.lay.G() == 3 {
-		others := a.dataUnitsOf(stripe, loc)
+		others := a.dataUnitsOf(op.stripe, op.loc)
 		if len(others) == 1 && a.available(others[0]) {
-			other := others[0]
-			otherData := a.unitVal(other)
+			op.other = others[0]
+			op.otherData = a.unitVal(op.other)
 			// Overlap the companion read with the data write, then
 			// write parity computed from the two new values.
-			a.io([]xfer{{loc: other}, {loc: loc, write: true}}, userPriority, func(fails []xfer) {
-				a.repairThen(stripe, fails, userPriority, func() {
-					a.setUnitVal(loc, value)
-					a.expected[unit] = value
-					parity := value ^ otherData
-					a.io([]xfer{{loc: ploc, write: true}}, userPriority, func(_ []xfer) {
-						a.setUnitVal(ploc, parity)
-						finish()
-					})
-				})
-			})
+			op.xs[0] = xfer{loc: op.other}
+			op.xs[1] = xfer{loc: op.loc, write: true}
+			a.io(op.xs[:2], userPriority, op.swPreFn)
 			return
 		}
 	}
 	// Pre-read old data and parity, then overwrite both.
-	oldData := a.unitVal(loc)
-	oldParity := a.unitVal(ploc)
-	a.io([]xfer{{loc: loc}, {loc: ploc}}, userPriority, func(fails []xfer) {
-		a.repairThen(stripe, fails, userPriority, func() {
-			newParity := oldParity ^ oldData ^ value
-			a.io([]xfer{{loc: loc, write: true}, {loc: ploc, write: true}}, userPriority, func(_ []xfer) {
-				a.setUnitVal(loc, value)
-				a.setUnitVal(ploc, newParity)
-				a.expected[unit] = value
-				finish()
-			})
-		})
-	})
+	op.oldData = a.unitVal(op.loc)
+	op.oldParity = a.unitVal(op.ploc)
+	op.xs[0] = xfer{loc: op.loc}
+	op.xs[1] = xfer{loc: op.ploc}
+	a.io(op.xs[:2], userPriority, op.rmwPreFn)
+}
+
+func (op *userOp) mirrorDone(_ []xfer) {
+	a := op.a
+	a.setUnitVal(op.loc, op.value)
+	a.setUnitVal(op.ploc, op.value)
+	a.expected[op.unit] = op.value
+	op.finish()
+}
+
+func (op *userOp) swPre(fails []xfer) {
+	op.a.repairThen(op.stripe, fails, userPriority, op.swRepairedFn)
+}
+
+func (op *userOp) swRepaired() {
+	a := op.a
+	a.setUnitVal(op.loc, op.value)
+	a.expected[op.unit] = op.value
+	op.newParity = op.value ^ op.otherData
+	op.xs[0] = xfer{loc: op.ploc, write: true}
+	a.io(op.xs[:1], userPriority, op.swCommitFn)
+}
+
+func (op *userOp) swCommit(_ []xfer) {
+	op.a.setUnitVal(op.ploc, op.newParity)
+	op.finish()
+}
+
+func (op *userOp) rmwPre(fails []xfer) {
+	op.a.repairThen(op.stripe, fails, userPriority, op.rmwRepairedFn)
+}
+
+func (op *userOp) rmwRepaired() {
+	op.newParity = op.oldParity ^ op.oldData ^ op.value
+	op.xs[0] = xfer{loc: op.loc, write: true}
+	op.xs[1] = xfer{loc: op.ploc, write: true}
+	op.a.io(op.xs[:2], userPriority, op.rmwCommitFn)
+}
+
+func (op *userOp) rmwCommit(_ []xfer) {
+	a := op.a
+	a.setUnitVal(op.loc, op.value)
+	a.setUnitVal(op.ploc, op.newParity)
+	a.expected[op.unit] = op.value
+	op.finish()
 }
 
 // writeLostData handles a write whose data unit is on the failed slot and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"declust/internal/layout"
+	"declust/internal/sim"
 )
 
 // The scrubber is the background process that turns latent sector errors
@@ -52,15 +53,13 @@ func (a *Array) StartScrub(spacingMS float64) error {
 // no further stripe is scheduled.
 func (a *Array) StopScrub() {
 	a.scrubOn = false
-	if a.scrubEv != nil {
-		a.eng.Cancel(a.scrubEv)
-		a.scrubEv = nil
-	}
+	a.eng.Cancel(a.scrubEv) // no-op on the zero Timer or a stale handle
+	a.scrubEv = sim.Timer{}
 }
 
 func (a *Array) scheduleScrub() {
 	a.scrubEv = a.eng.Schedule(a.scrubSpacing, func() {
-		a.scrubEv = nil
+		a.scrubEv = sim.Timer{}
 		if !a.scrubOn {
 			return
 		}

@@ -1,0 +1,174 @@
+// Package benchio parses `go test -bench` output and compares runs, so a
+// checked-in JSON baseline can gate performance regressions. Stdlib only.
+package benchio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics maps unit → value for everything
+// reported after the iteration count: "ns/op", "B/op", "allocs/op", and any
+// custom b.ReportMetric units such as "events/req" or "events/sec".
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Suite is one benchmark run: the environment header plus every result.
+type Suite struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkgs    []string `json:"pkgs,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// normName strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs from machines with different core counts still compare.
+func normName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Parse reads `go test -bench` output. Unrecognized lines (PASS, ok, test
+// chatter) are skipped; a run with zero benchmark lines is an error.
+func Parse(r io.Reader) (Suite, error) {
+	var s Suite
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			s.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			s.Pkgs = append(s.Pkgs, strings.TrimPrefix(line, "pkg: "))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: normName(fields[0]), Iterations: iters,
+			Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Suite{}, fmt.Errorf("benchio: bad value %q in %q", fields[i], line)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		s.Results = append(s.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return Suite{}, err
+	}
+	if len(s.Results) == 0 {
+		return Suite{}, fmt.Errorf("benchio: no benchmark lines in input")
+	}
+	return s, nil
+}
+
+// Delta is one metric's change between baseline and current run. Ratio is
+// new/old; for lower-is-better units a ratio above 1 is a slowdown.
+type Delta struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+	Ratio  float64
+	// Regression marks deltas beyond the comparison threshold in the bad
+	// direction for the metric's polarity.
+	Regression bool
+}
+
+// higherIsBetter reports the polarity of a metric unit: throughput-style
+// units improve upward, everything else (times, bytes, allocations,
+// events/req work counts) improves downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec")
+}
+
+// Compare diffs every (benchmark, metric) present in both suites.
+// threshold is the fractional change tolerated before a delta counts as a
+// regression: 0.10 flags slowdowns beyond 10%. Benchmarks present in only
+// one suite are ignored — adding a benchmark must not fail the gate.
+func Compare(base, cur Suite, threshold float64) []Delta {
+	baseByName := map[string]Result{}
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var out []Delta
+	for _, r := range cur.Results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			if _, ok := b.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			d := Delta{Name: r.Name, Metric: u, Old: b.Metrics[u], New: r.Metrics[u]}
+			switch {
+			case d.Old == 0 && d.New == 0:
+				d.Ratio = 1
+			case d.Old == 0:
+				d.Ratio = 0 // zero baseline: flag any growth below
+				d.Regression = !higherIsBetter(u)
+			default:
+				d.Ratio = d.New / d.Old
+				if higherIsBetter(u) {
+					d.Regression = d.Ratio < 1-threshold
+				} else {
+					d.Regression = d.Ratio > 1+threshold
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders one delta as a fixed-width report line.
+func (d Delta) Format() string {
+	verdict := "ok"
+	if d.Regression {
+		verdict = "REGRESSION"
+	} else if d.Old > 0 {
+		if higherIsBetter(d.Metric) && d.Ratio > 1.10 {
+			verdict = "improved"
+		} else if !higherIsBetter(d.Metric) && d.Ratio < 0.90 {
+			verdict = "improved"
+		}
+	}
+	return fmt.Sprintf("%-40s %-12s %14.4g %14.4g %8.3fx  %s",
+		d.Name, d.Metric, d.Old, d.New, d.Ratio, verdict)
+}

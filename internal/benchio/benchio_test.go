@@ -1,0 +1,119 @@
+package benchio
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: declust
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFaultFreeMetricsOff 	      20	  17555412 ns/op	         3.865 events/req	 7224600 B/op	  105596 allocs/op
+BenchmarkFaultFreeMetricsOn-8  	      20	  15777205 ns/op	         3.870 events/req	 7325326 B/op	  106922 allocs/op
+PASS
+ok  	declust	0.830s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || len(s.Pkgs) != 1 || s.Pkgs[0] != "declust" {
+		t.Errorf("bad header: %+v", s)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(s.Results))
+	}
+	r := s.Results[0]
+	if r.Name != "BenchmarkFaultFreeMetricsOff" || r.Iterations != 20 {
+		t.Errorf("bad first result: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 17555412 || r.Metrics["allocs/op"] != 105596 ||
+		r.Metrics["events/req"] != 3.865 {
+		t.Errorf("bad metrics: %v", r.Metrics)
+	}
+	// -GOMAXPROCS suffix stripped so machines with different core counts compare.
+	if s.Results[1].Name != "BenchmarkFaultFreeMetricsOn" {
+		t.Errorf("suffix not stripped: %q", s.Results[1].Name)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok declust 0.1s\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func mkSuite(ns, allocs, throughput float64) Suite {
+	return Suite{Results: []Result{{
+		Name: "BenchmarkX", Iterations: 10,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs, "events/sec": throughput},
+	}}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := mkSuite(1000, 100, 5000)
+	// 20% slower, 20% more allocations, 20% lower throughput: all three
+	// metrics breach a 10% threshold in their bad direction.
+	cur := mkSuite(1200, 120, 4000)
+	deltas := Compare(base, cur, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	for _, d := range deltas {
+		if !d.Regression {
+			t.Errorf("%s %s ratio %.2f not flagged", d.Name, d.Metric, d.Ratio)
+		}
+	}
+}
+
+func TestCompareAcceptsImprovementAndNoise(t *testing.T) {
+	base := mkSuite(1000, 100, 5000)
+	// 5% slower is within a 10% threshold; fewer allocations and higher
+	// throughput are improvements.
+	cur := mkSuite(1050, 50, 9000)
+	for _, d := range Compare(base, cur, 0.10) {
+		if d.Regression {
+			t.Errorf("%s %s ratio %.2f wrongly flagged", d.Name, d.Metric, d.Ratio)
+		}
+	}
+}
+
+func TestCompareThresholdOverride(t *testing.T) {
+	base := mkSuite(1000, 100, 5000)
+	cur := mkSuite(1200, 100, 5000)
+	strict := Compare(base, cur, 0.10)
+	loose := Compare(base, cur, 0.50)
+	if !strict[2].Regression { // units sort: allocs/op, events/sec, ns/op
+		t.Error("20% ns/op slowdown not flagged at threshold 0.10")
+	}
+	if loose[2].Regression {
+		t.Error("20% ns/op slowdown flagged at threshold 0.50")
+	}
+}
+
+func TestCompareIgnoresUnmatchedBenchmarks(t *testing.T) {
+	base := mkSuite(1000, 100, 5000)
+	cur := mkSuite(1000, 100, 5000)
+	cur.Results = append(cur.Results, Result{Name: "BenchmarkNew",
+		Metrics: map[string]float64{"ns/op": 1}})
+	deltas := Compare(base, cur, 0.10)
+	for _, d := range deltas {
+		if d.Name == "BenchmarkNew" {
+			t.Error("benchmark absent from baseline must not produce deltas")
+		}
+	}
+}
+
+func TestDeltaFormat(t *testing.T) {
+	d := Delta{Name: "BenchmarkX", Metric: "ns/op", Old: 1000, New: 2000, Ratio: 2, Regression: true}
+	if s := d.Format(); !strings.Contains(s, "REGRESSION") {
+		t.Errorf("missing verdict: %q", s)
+	}
+	d = Delta{Name: "BenchmarkX", Metric: "ns/op", Old: 1000, New: 400, Ratio: 0.4}
+	if s := d.Format(); !strings.Contains(s, "improved") {
+		t.Errorf("missing improvement verdict: %q", s)
+	}
+}

@@ -216,6 +216,71 @@ type runner struct {
 	writeHist *metrics.Histogram
 	mRequests *metrics.Counter
 	sampleMS  float64
+
+	// Arrival fast path: arriveFn is bound once; nextOp carries the one
+	// arrival scheduled but not yet fired (pump schedules the next arrival
+	// only from inside the previous one, so a single slot suffices).
+	// pendFree pools per-request completion records.
+	arriveFn func()
+	nextOp   workload.Op
+	pendFree []*pendingReq
+}
+
+// pendingReq tracks one user request from arrival to completion. Nodes are
+// pooled on the runner with their callbacks pre-bound, so steady-state
+// requests allocate nothing.
+type pendingReq struct {
+	r         *runner
+	start     float64
+	op        workload.Op
+	recordFn  func()
+	recordVFn func(uint64)
+}
+
+func (r *runner) getPend() *pendingReq {
+	if n := len(r.pendFree); n > 0 {
+		p := r.pendFree[n-1]
+		r.pendFree = r.pendFree[:n-1]
+		return p
+	}
+	p := &pendingReq{r: r}
+	p.recordFn = p.record
+	p.recordVFn = p.recordV
+	return p
+}
+
+func (p *pendingReq) recordV(uint64) { p.record() }
+
+// record runs at request completion: copy the node's state to locals and
+// recycle it, then score the response if the arrival fell inside the
+// measurement window.
+func (p *pendingReq) record() {
+	r := p.r
+	start, op := p.start, p.op
+	r.pendFree = append(r.pendFree, p)
+	if start >= r.from && (r.to < 0 || start < r.to) {
+		lat := r.eng.Now() - start
+		r.resp.Add(lat)
+		r.mRequests.Inc()
+		r.respHist.Observe(lat)
+		if op.Read {
+			r.readHist.Observe(lat)
+		} else {
+			r.writeHist.Observe(lat)
+		}
+		if r.tracer != nil {
+			r.tracer.Access(metrics.AccessEvent{
+				ArriveMS: start, DoneMS: r.eng.Now(),
+				Read: op.Read, Unit: op.Unit, Count: op.Count,
+			})
+		}
+		if r.capture != nil {
+			r.capture.Add(trace.Record{ArriveMS: start, DoneMS: r.eng.Now(), Op: op})
+		}
+		if r.classify != nil {
+			r.classify(start, r.eng.Now())
+		}
+	}
 }
 
 func newRunner(cfg SimConfig) (*runner, error) {
@@ -442,48 +507,34 @@ func (r *runner) pump() {
 		return
 	}
 	delay, op := r.gen.Next()
-	r.eng.Schedule(delay, func() {
-		if r.stopped {
-			return
-		}
-		start := r.eng.Now()
-		record := func() {
-			if start >= r.from && (r.to < 0 || start < r.to) {
-				lat := r.eng.Now() - start
-				r.resp.Add(lat)
-				r.mRequests.Inc()
-				r.respHist.Observe(lat)
-				if op.Read {
-					r.readHist.Observe(lat)
-				} else {
-					r.writeHist.Observe(lat)
-				}
-				if r.tracer != nil {
-					r.tracer.Access(metrics.AccessEvent{
-						ArriveMS: start, DoneMS: r.eng.Now(),
-						Read: op.Read, Unit: op.Unit, Count: op.Count,
-					})
-				}
-				if r.capture != nil {
-					r.capture.Add(trace.Record{ArriveMS: start, DoneMS: r.eng.Now(), Op: op})
-				}
-				if r.classify != nil {
-					r.classify(start, r.eng.Now())
-				}
-			}
-		}
-		switch {
-		case op.Read && op.Count == 1:
-			r.arr.Read(op.Unit, func(uint64) { record() })
-		case op.Read:
-			r.arr.ReadRange(op.Unit, op.Count, record)
-		case op.Count == 1:
-			r.arr.Write(op.Unit, record)
-		default:
-			r.arr.WriteRange(op.Unit, op.Count, record)
-		}
-		r.pump()
-	})
+	if r.arriveFn == nil {
+		r.arriveFn = r.arrive
+	}
+	r.nextOp = op
+	r.eng.Schedule(delay, r.arriveFn)
+}
+
+// arrive fires one user arrival: issue the access with a pooled completion
+// record, then schedule the next arrival.
+func (r *runner) arrive() {
+	if r.stopped {
+		return
+	}
+	op := r.nextOp
+	p := r.getPend()
+	p.start = r.eng.Now()
+	p.op = op
+	switch {
+	case op.Read && op.Count == 1:
+		r.arr.Read(op.Unit, p.recordVFn)
+	case op.Read:
+		r.arr.ReadRange(op.Unit, op.Count, p.recordFn)
+	case op.Count == 1:
+		r.arr.Write(op.Unit, p.recordFn)
+	default:
+		r.arr.WriteRange(op.Unit, op.Count, p.recordFn)
+	}
+	r.pump()
 }
 
 func (r *runner) metrics() Metrics {

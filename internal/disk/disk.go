@@ -90,6 +90,17 @@ type Disk struct {
 	stats    Stats
 	observer func(Event)
 
+	// Completion state for the one request in service. startNext fills
+	// these and schedules completeFn — a method value bound once at
+	// construction — so steady-state completions allocate nothing.
+	doneReq    *Request
+	doneStart  float64
+	doneFinish float64
+	doneStatus Status
+	doneCyl    int
+	doneDist   int
+	completeFn func()
+
 	// Fault injection (nil hook = the drive never errs).
 	hook      FaultHook
 	timeoutMS float64
@@ -105,12 +116,14 @@ func New(eng *sim.Engine, geom Geometry, r float64) *Disk {
 	if r < 0 || r > 1 {
 		panic(fmt.Sprintf("disk: CVSCAN bias %v out of [0,1]", r))
 	}
-	return &Disk{
+	d := &Disk{
 		eng:   eng,
 		geom:  geom,
 		seek:  NewSeekCurve(geom),
 		sched: newCvscan(r, geom.Cylinders),
 	}
+	d.completeFn = d.complete
+	return d
 }
 
 // Geometry returns the drive geometry.
@@ -182,21 +195,9 @@ func (d *Disk) startNext() {
 		finish := start + d.timeoutMS
 		d.stats.BusyMS += d.timeoutMS
 		d.stats.Timeouts++
-		d.eng.At(finish, func() {
-			d.busy = false
-			d.stats.Completed++
-			if d.observer != nil {
-				d.observer(Event{
-					QueuedAt: r.queuedAt, Start: start, Finish: finish,
-					Cyl: d.headCyl, Sectors: r.Count, Write: r.Write,
-					Priority: r.Priority, Status: Timeout,
-				})
-			}
-			d.startNext()
-			if r.OnDone != nil {
-				r.OnDone(start, finish, Timeout)
-			}
-		})
+		d.doneReq, d.doneStart, d.doneFinish = r, start, finish
+		d.doneStatus, d.doneCyl, d.doneDist = Timeout, d.headCyl, 0
+		d.eng.At(finish, d.completeFn)
 		return
 	}
 
@@ -214,28 +215,41 @@ func (d *Disk) startNext() {
 	}
 	d.stats.SeekCyls += int64(dist)
 
-	d.eng.At(finish, func() {
-		d.busy = false
-		d.stats.Completed++
+	d.doneReq, d.doneStart, d.doneFinish = r, start, finish
+	d.doneStatus, d.doneCyl, d.doneDist = st, tgt.Cyl, dist
+	d.eng.At(finish, d.completeFn)
+}
+
+// complete delivers the completion of the request in service. It copies the
+// pending state to locals first: startNext reuses the done* fields for the
+// next transfer before OnDone runs.
+func (d *Disk) complete() {
+	r := d.doneReq
+	start, finish, st := d.doneStart, d.doneFinish, d.doneStatus
+	cyl, dist := d.doneCyl, d.doneDist
+	d.doneReq = nil
+	d.busy = false
+	d.stats.Completed++
+	if st != Timeout {
 		d.stats.SectorsMoved += int64(r.Count)
 		if st == MediaError {
 			d.stats.MediaErrors++
 		}
-		if d.observer != nil {
-			d.observer(Event{
-				QueuedAt: r.queuedAt, Start: start, Finish: finish,
-				Cyl: tgt.Cyl, SeekDist: dist,
-				Sectors: r.Count, Write: r.Write, Priority: r.Priority,
-				Status: st,
-			})
-		}
-		// Start the next transfer before delivering the completion, so
-		// the arm never idles waiting on upper-layer work.
-		d.startNext()
-		if r.OnDone != nil {
-			r.OnDone(start, finish, st)
-		}
-	})
+	}
+	if d.observer != nil {
+		d.observer(Event{
+			QueuedAt: r.queuedAt, Start: start, Finish: finish,
+			Cyl: cyl, SeekDist: dist,
+			Sectors: r.Count, Write: r.Write, Priority: r.Priority,
+			Status: st,
+		})
+	}
+	// Start the next transfer before delivering the completion, so the
+	// arm never idles waiting on upper-layer work.
+	d.startNext()
+	if r.OnDone != nil {
+		r.OnDone(start, finish, st)
+	}
 }
 
 type serviceBreakdown struct {
@@ -291,8 +305,12 @@ func (d *Disk) serviceTime(now float64, start int64, count int) (finish float64,
 func (d *Disk) rotationalDelay(t float64, phys int) float64 {
 	g := d.geom
 	spt := float64(g.SectorsPerTrack)
-	// Angular position in sector slots at time t.
-	pos := math.Mod(t, g.RevolutionMS) / g.RevolutionMS * spt
+	// Angular position in sector slots at time t. Floor-based fractional
+	// part instead of math.Mod: Mod's exact-remainder loop dominates this
+	// function's cost, and sub-ulp angular error is far below the guard
+	// threshold applied beneath.
+	f := t / g.RevolutionMS
+	pos := (f - math.Floor(f)) * spt
 	target := float64(phys)
 	delta := target - pos
 	if delta < 0 {

@@ -32,6 +32,11 @@ type Options struct {
 	// WarmupMS and MeasureMS for response-time windows; 0 = defaults
 	// (10 s warmup, 100 s measurement).
 	WarmupMS, MeasureMS float64
+	// Workers fans independent simulation points out over this many
+	// goroutines (<= 1 = serial). Each point owns its engine and RNG
+	// streams and results are assembled in point order, so tables and
+	// exports are byte-identical whatever the worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -167,24 +172,37 @@ func Fig6(o Options, readFrac float64) ([]ResponsePoint, Table, error) {
 	}
 	t := Table{ID: id, Title: title,
 		Header: []string{"alpha", "G", "rate/s", "fault-free", "degraded"}}
-	var pts []ResponsePoint
+	type job struct {
+		g    int
+		rate float64
+	}
+	var jobs []job
 	for _, g := range o.gs(false) {
 		for _, rate := range rates {
-			cfg := o.simConfig(g, rate, readFrac)
-			ff, err := core.RunFaultFree(cfg)
-			if err != nil {
-				return nil, t, fmt.Errorf("fig6 fault-free G=%d rate=%v: %w", g, rate, err)
-			}
-			dg, err := core.RunDegraded(cfg)
-			if err != nil {
-				return nil, t, fmt.Errorf("fig6 degraded G=%d rate=%v: %w", g, rate, err)
-			}
-			pts = append(pts, ResponsePoint{G: g, Alpha: alphaOf(g), Rate: rate, FaultFree: ff, Degraded: dg})
-			t.Rows = append(t.Rows, []string{
-				f2(alphaOf(g)), fmt.Sprint(g), fmt.Sprint(rate),
-				f1(ff.MeanResponseMS), f1(dg.MeanResponseMS),
-			})
+			jobs = append(jobs, job{g, rate})
 		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (ResponsePoint, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, j.rate, readFrac)
+		ff, err := core.RunFaultFree(cfg)
+		if err != nil {
+			return ResponsePoint{}, fmt.Errorf("fig6 fault-free G=%d rate=%v: %w", j.g, j.rate, err)
+		}
+		dg, err := core.RunDegraded(cfg)
+		if err != nil {
+			return ResponsePoint{}, fmt.Errorf("fig6 degraded G=%d rate=%v: %w", j.g, j.rate, err)
+		}
+		return ResponsePoint{G: j.g, Alpha: alphaOf(j.g), Rate: j.rate, FaultFree: ff, Degraded: dg}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			f2(p.Alpha), fmt.Sprint(p.G), fmt.Sprint(p.Rate),
+			f1(p.FaultFree.MeanResponseMS), f1(p.Degraded.MeanResponseMS),
+		})
 	}
 	return pts, t, nil
 }
@@ -223,28 +241,42 @@ func Fig8(o Options, procs int) ([]ReconPoint, Table, Table, error) {
 		Header: []string{"alpha", "G", "rate/s", "algorithm", "recon (min)"}}
 	tr := Table{ID: idR, Title: fmt.Sprintf("Avg user response time during reconstruction, %s (ms)", suffix),
 		Header: []string{"alpha", "G", "rate/s", "algorithm", "response (ms)"}}
-	var pts []ReconPoint
+	type job struct {
+		g    int
+		rate float64
+		alg  array.ReconAlgorithm
+	}
+	var jobs []job
 	for _, g := range o.gs(true) {
 		for _, rate := range rates {
 			for _, alg := range ReconAlgorithms {
-				cfg := o.simConfig(g, rate, 0.5)
-				cfg.Algorithm = alg
-				cfg.ReconProcs = procs
-				m, err := core.RunReconstruction(cfg)
-				if err != nil {
-					return nil, tt, tr, fmt.Errorf("fig8 G=%d rate=%v alg=%v: %w", g, rate, alg, err)
-				}
-				pts = append(pts, ReconPoint{G: g, Alpha: alphaOf(g), Rate: rate, Algorithm: alg, Metrics: m})
-				tt.Rows = append(tt.Rows, []string{
-					f2(alphaOf(g)), fmt.Sprint(g), fmt.Sprint(rate), alg.String(),
-					f1(m.ReconTimeMS / 60_000),
-				})
-				tr.Rows = append(tr.Rows, []string{
-					f2(alphaOf(g)), fmt.Sprint(g), fmt.Sprint(rate), alg.String(),
-					f1(m.MeanResponseMS),
-				})
+				jobs = append(jobs, job{g, rate, alg})
 			}
 		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (ReconPoint, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, j.rate, 0.5)
+		cfg.Algorithm = j.alg
+		cfg.ReconProcs = procs
+		m, err := core.RunReconstruction(cfg)
+		if err != nil {
+			return ReconPoint{}, fmt.Errorf("fig8 G=%d rate=%v alg=%v: %w", j.g, j.rate, j.alg, err)
+		}
+		return ReconPoint{G: j.g, Alpha: alphaOf(j.g), Rate: j.rate, Algorithm: j.alg, Metrics: m}, nil
+	})
+	if err != nil {
+		return nil, tt, tr, err
+	}
+	for _, p := range pts {
+		tt.Rows = append(tt.Rows, []string{
+			f2(p.Alpha), fmt.Sprint(p.G), fmt.Sprint(p.Rate), p.Algorithm.String(),
+			f1(p.Metrics.ReconTimeMS / 60_000),
+		})
+		tr.Rows = append(tr.Rows, []string{
+			f2(p.Alpha), fmt.Sprint(p.G), fmt.Sprint(p.Rate), p.Algorithm.String(),
+			f1(p.Metrics.MeanResponseMS),
+		})
 	}
 	return pts, tt, tr, nil
 }
@@ -274,26 +306,39 @@ func Table81(o Options) ([]CycleRow, Table, error) {
 	t := Table{ID: "table8-1",
 		Title:  "Reconstruction cycle times (ms) at rate = 210: read(σ) + write(σ) = cycle",
 		Header: []string{"procs", "algorithm", "alpha", "read", "(σ)", "write", "(σ)", "cycle"}}
-	var rows []CycleRow
+	type job struct {
+		procs int
+		alg   array.ReconAlgorithm
+		g     int
+	}
+	var jobs []job
 	for _, procs := range []int{1, 8} {
 		for _, alg := range ReconAlgorithms {
 			for _, g := range gs {
-				cfg := o.simConfig(g, 210, 0.5)
-				cfg.Algorithm = alg
-				cfg.ReconProcs = procs
-				rm, rs, wm, ws, err := core.ReconCyclePhases(cfg, 300)
-				if err != nil {
-					return nil, t, fmt.Errorf("table8-1 G=%d alg=%v procs=%d: %w", g, alg, procs, err)
-				}
-				row := CycleRow{G: g, Alpha: alphaOf(g), Procs: procs, Algorithm: alg,
-					ReadMean: rm, ReadStd: rs, WriteMean: wm, WriteStd: ws, CycleTotal: rm + wm}
-				rows = append(rows, row)
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprint(procs), alg.String(), f2(alphaOf(g)),
-					f1(rm), f1(rs), f1(wm), f1(ws), f1(rm + wm),
-				})
+				jobs = append(jobs, job{procs, alg, g})
 			}
 		}
+	}
+	rows, err := RunPoints(o.Workers, len(jobs), func(i int) (CycleRow, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, 210, 0.5)
+		cfg.Algorithm = j.alg
+		cfg.ReconProcs = j.procs
+		rm, rs, wm, ws, err := core.ReconCyclePhases(cfg, 300)
+		if err != nil {
+			return CycleRow{}, fmt.Errorf("table8-1 G=%d alg=%v procs=%d: %w", j.g, j.alg, j.procs, err)
+		}
+		return CycleRow{G: j.g, Alpha: alphaOf(j.g), Procs: j.procs, Algorithm: j.alg,
+			ReadMean: rm, ReadStd: rs, WriteMean: wm, WriteStd: ws, CycleTotal: rm + wm}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.Procs), row.Algorithm.String(), f2(row.Alpha),
+			f1(row.ReadMean), f1(row.ReadStd), f1(row.WriteMean), f1(row.WriteStd), f1(row.CycleTotal),
+		})
 	}
 	return rows, t, nil
 }
@@ -323,43 +368,55 @@ func Fig86(o Options) ([]ModelPoint, Table, error) {
 	t := Table{ID: "fig8-6",
 		Title:  "Muntz & Lui model vs 8-way simulation: reconstruction time (min), rate 210, 50% reads",
 		Header: []string{"alpha", "G", "algorithm", "model (min)", "simulated (min)", "model/sim"}}
-	var pts []ModelPoint
 	// Model disk rate: 1 / average random 4 KB access time.
 	avgMS := geom.AvgSeekMS + geom.RevolutionMS/2 + 8.0/float64(geom.SectorsPerTrack)*geom.RevolutionMS
 	diskRate := 1000 / avgMS
+	type job struct {
+		g   int
+		alg array.ReconAlgorithm
+	}
+	var jobs []job
 	for _, g := range o.gs(true) {
 		for _, alg := range []array.ReconAlgorithm{array.UserWrites, array.Redirect} {
-			cfg := o.simConfig(g, 210, 0.5)
-			cfg.Algorithm = alg
-			cfg.ReconProcs = 8
-			m, err := core.RunReconstruction(cfg)
-			if err != nil {
-				return nil, t, fmt.Errorf("fig8-6 G=%d: %w", g, err)
-			}
-			// The model sweeps the same usable capacity the simulator
-			// maps: raw units rounded down to whole allocation periods.
-			raw := geom.TotalSectors() / 8
-			r := unitsPerPeriod(g)
-			model := analytic.Model{
-				C: 21, G: g,
-				UserRate:     210,
-				ReadFraction: 0.5,
-				DiskRate:     diskRate,
-				UnitsPerDisk: float64(raw / r * r),
-				Algorithm:    analytic.Algorithm(alg),
-			}
-			pred, err := model.ReconstructionTime()
-			if err != nil {
-				return nil, t, fmt.Errorf("fig8-6 model G=%d: %w", g, err)
-			}
-			mp := ModelPoint{G: g, Alpha: alphaOf(g), Algorithm: alg,
-				ModelMin: pred / 60, SimulatedMin: m.ReconTimeMS / 60_000}
-			pts = append(pts, mp)
-			t.Rows = append(t.Rows, []string{
-				f2(mp.Alpha), fmt.Sprint(g), alg.String(),
-				f1(mp.ModelMin), f1(mp.SimulatedMin), f2(mp.ModelMin / mp.SimulatedMin),
-			})
+			jobs = append(jobs, job{g, alg})
 		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (ModelPoint, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, 210, 0.5)
+		cfg.Algorithm = j.alg
+		cfg.ReconProcs = 8
+		m, err := core.RunReconstruction(cfg)
+		if err != nil {
+			return ModelPoint{}, fmt.Errorf("fig8-6 G=%d: %w", j.g, err)
+		}
+		// The model sweeps the same usable capacity the simulator
+		// maps: raw units rounded down to whole allocation periods.
+		raw := geom.TotalSectors() / 8
+		r := unitsPerPeriod(j.g)
+		model := analytic.Model{
+			C: 21, G: j.g,
+			UserRate:     210,
+			ReadFraction: 0.5,
+			DiskRate:     diskRate,
+			UnitsPerDisk: float64(raw / r * r),
+			Algorithm:    analytic.Algorithm(j.alg),
+		}
+		pred, err := model.ReconstructionTime()
+		if err != nil {
+			return ModelPoint{}, fmt.Errorf("fig8-6 model G=%d: %w", j.g, err)
+		}
+		return ModelPoint{G: j.g, Alpha: alphaOf(j.g), Algorithm: j.alg,
+			ModelMin: pred / 60, SimulatedMin: m.ReconTimeMS / 60_000}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, mp := range pts {
+		t.Rows = append(t.Rows, []string{
+			f2(mp.Alpha), fmt.Sprint(mp.G), mp.Algorithm.String(),
+			f1(mp.ModelMin), f1(mp.SimulatedMin), f2(mp.ModelMin / mp.SimulatedMin),
+		})
 	}
 	return pts, t, nil
 }

@@ -29,21 +29,26 @@ func ExtThrottle(o Options, g int, rates []float64) ([]ThrottlePoint, Table, err
 	t := Table{ID: "ext-throttle",
 		Title:  fmt.Sprintf("Reconstruction throttling ablation (G=%d, 8-way, rate 210, 50%% reads)", g),
 		Header: []string{"cycles/s/proc", "recon (min)", "response (ms)"}}
-	var pts []ThrottlePoint
-	for _, cps := range rates {
+	pts, err := RunPoints(o.Workers, len(rates), func(i int) (ThrottlePoint, error) {
+		cps := rates[i]
 		cfg := o.simConfig(g, 210, 0.5)
 		cfg.ReconProcs = 8
 		cfg.ReconThrottleCyclesPerSec = cps
 		m, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-throttle cps=%v: %w", cps, err)
+			return ThrottlePoint{}, fmt.Errorf("ext-throttle cps=%v: %w", cps, err)
 		}
-		label := fmt.Sprint(cps)
-		if cps == 0 {
+		return ThrottlePoint{CyclesPerSec: cps, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
+		label := fmt.Sprint(p.CyclesPerSec)
+		if p.CyclesPerSec == 0 {
 			label = "unthrottled"
 		}
-		pts = append(pts, ThrottlePoint{CyclesPerSec: cps, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS})
-		t.Rows = append(t.Rows, []string{label, f1(m.ReconTimeMS / 60_000), f1(m.MeanResponseMS)})
+		t.Rows = append(t.Rows, []string{label, f1(p.ReconMin), f1(p.ResponseMS)})
 	}
 	return pts, t, nil
 }
@@ -63,21 +68,27 @@ func ExtPriority(o Options, g int) ([]PriorityPoint, Table, error) {
 	t := Table{ID: "ext-priority",
 		Title:  fmt.Sprintf("Reconstruction access priority ablation (G=%d, 8-way, rate 210, 50%% reads)", g),
 		Header: []string{"recon priority", "recon (min)", "response (ms)"}}
-	var pts []PriorityPoint
-	for _, low := range []bool{false, true} {
+	lows := []bool{false, true}
+	pts, err := RunPoints(o.Workers, len(lows), func(i int) (PriorityPoint, error) {
+		low := lows[i]
 		cfg := o.simConfig(g, 210, 0.5)
 		cfg.ReconProcs = 8
 		cfg.ReconLowPriority = low
 		m, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-priority low=%v: %w", low, err)
+			return PriorityPoint{}, fmt.Errorf("ext-priority low=%v: %w", low, err)
 		}
+		return PriorityPoint{LowPriority: low, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
 		label := "equal"
-		if low {
+		if p.LowPriority {
 			label = "below user"
 		}
-		pts = append(pts, PriorityPoint{LowPriority: low, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS})
-		t.Rows = append(t.Rows, []string{label, f1(m.ReconTimeMS / 60_000), f1(m.MeanResponseMS)})
+		t.Rows = append(t.Rows, []string{label, f1(p.ReconMin), f1(p.ResponseMS)})
 	}
 	return pts, t, nil
 }
@@ -111,36 +122,52 @@ func ExtDataMap(o Options, g int, sizes []int) ([]DataMapPoint, Table, error) {
 	t := Table{ID: "ext-datamap",
 		Title:  fmt.Sprintf("Data mapping ablation (G=%d, fault-free, rate 160/size per s): mean response (ms)", g),
 		Header: []string{"access (units)", "workload", "stripe-index", "parallel"}}
-	var pts []DataMapPoint
+	type job struct {
+		size     int
+		readFrac float64
+		parallel bool
+	}
+	var jobs []job
 	for _, size := range sizes {
+		for _, readFrac := range []float64{1, 0} {
+			for _, parallel := range []bool{false, true} {
+				jobs = append(jobs, job{size, readFrac, parallel})
+			}
+		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (DataMapPoint, error) {
+		j := jobs[i]
 		// Hold the unit throughput constant across access sizes so no
 		// configuration saturates (the parallel mapping pays up to 4
 		// accesses per touched unit on unaligned writes).
-		rate := 160.0 / float64(size)
+		rate := 160.0 / float64(j.size)
 		if rate > 50 {
 			rate = 50
 		}
-		for _, readFrac := range []float64{1, 0} {
-			row := []string{fmt.Sprint(size)}
-			if readFrac == 1 {
-				row = append(row, "reads")
-			} else {
-				row = append(row, "writes")
-			}
-			for _, parallel := range []bool{false, true} {
-				cfg := o.simConfig(g, rate, readFrac)
-				cfg.AccessUnits = size
-				cfg.ParallelDataMap = parallel
-				m, err := core.RunFaultFree(cfg)
-				if err != nil {
-					return nil, t, fmt.Errorf("ext-datamap size=%d parallel=%v: %w", size, parallel, err)
-				}
-				pts = append(pts, DataMapPoint{AccessUnits: size, Parallel: parallel,
-					ReadFrac: readFrac, ResponseMS: m.MeanResponseMS})
-				row = append(row, f1(m.MeanResponseMS))
-			}
-			t.Rows = append(t.Rows, row)
+		cfg := o.simConfig(g, rate, j.readFrac)
+		cfg.AccessUnits = j.size
+		cfg.ParallelDataMap = j.parallel
+		m, err := core.RunFaultFree(cfg)
+		if err != nil {
+			return DataMapPoint{}, fmt.Errorf("ext-datamap size=%d parallel=%v: %w", j.size, j.parallel, err)
 		}
+		return DataMapPoint{AccessUnits: j.size, Parallel: j.parallel,
+			ReadFrac: j.readFrac, ResponseMS: m.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	// Two points (stripe-index, parallel) fold into each table row.
+	for i := 0; i+1 < len(pts); i += 2 {
+		p := pts[i]
+		workload := "reads"
+		if p.ReadFrac != 1 {
+			workload = "writes"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.AccessUnits), workload,
+			f1(p.ResponseMS), f1(pts[i+1].ResponseMS),
+		})
 	}
 	return pts, t, nil
 }
@@ -172,24 +199,28 @@ func ExtMirror(o Options) ([]MirrorRow, Table, error) {
 		{"declustered parity α=0.2", 5},
 		{"RAID 5", 21},
 	}
-	var rows []MirrorRow
-	for _, c := range cases {
+	rows, err := RunPoints(o.Workers, len(cases), func(i int) (MirrorRow, error) {
+		c := cases[i]
 		cfg := o.simConfig(c.g, 210, 0.5)
 		cfg.ReconProcs = 8
 		ff, err := core.RunFaultFree(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-mirror %s fault-free: %w", c.label, err)
+			return MirrorRow{}, fmt.Errorf("ext-mirror %s fault-free: %w", c.label, err)
 		}
 		rc, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-mirror %s recon: %w", c.label, err)
+			return MirrorRow{}, fmt.Errorf("ext-mirror %s recon: %w", c.label, err)
 		}
-		row := MirrorRow{Label: c.label, G: c.g, Overhead: 1 / float64(c.g),
-			ReconMin: rc.ReconTimeMS / 60_000, ResponseMS: rc.MeanResponseMS, FaultFree: ff.MeanResponseMS}
-		rows = append(rows, row)
+		return MirrorRow{Label: c.label, G: c.g, Overhead: 1 / float64(c.g),
+			ReconMin: rc.ReconTimeMS / 60_000, ResponseMS: rc.MeanResponseMS, FaultFree: ff.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
 		t.Rows = append(t.Rows, []string{
-			c.label, fmt.Sprint(c.g), fmt.Sprintf("%.0f%%", 100*row.Overhead),
-			f1(ff.MeanResponseMS), f1(rc.MeanResponseMS), f1(row.ReconMin),
+			row.Label, fmt.Sprint(row.G), fmt.Sprintf("%.0f%%", 100*row.Overhead),
+			f1(row.FaultFree), f1(row.ResponseMS), f1(row.ReconMin),
 		})
 	}
 	return rows, t, nil
@@ -215,22 +246,26 @@ func ExtUnitSize(o Options, g int, sectors []int) ([]UnitSizePoint, Table, error
 	t := Table{ID: "ext-unitsize",
 		Title:  fmt.Sprintf("Stripe unit size sweep (G=%d, 8-way recon, rate 105, 50%% reads)", g),
 		Header: []string{"unit (KB)", "fault-free (ms)", "recovering (ms)", "recon (min)"}}
-	var pts []UnitSizePoint
-	for _, sec := range sectors {
+	pts, err := RunPoints(o.Workers, len(sectors), func(i int) (UnitSizePoint, error) {
+		sec := sectors[i]
 		cfg := o.simConfig(g, 105, 0.5)
 		cfg.UnitSectors = sec
 		cfg.ReconProcs = 8
 		ff, err := core.RunFaultFree(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-unitsize %d sectors fault-free: %w", sec, err)
+			return UnitSizePoint{}, fmt.Errorf("ext-unitsize %d sectors fault-free: %w", sec, err)
 		}
 		rc, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-unitsize %d sectors recon: %w", sec, err)
+			return UnitSizePoint{}, fmt.Errorf("ext-unitsize %d sectors recon: %w", sec, err)
 		}
-		p := UnitSizePoint{UnitKB: sec / 2, FaultFree: ff.MeanResponseMS,
-			Recovering: rc.MeanResponseMS, ReconMin: rc.ReconTimeMS / 60_000}
-		pts = append(pts, p)
+		return UnitSizePoint{UnitKB: sec / 2, FaultFree: ff.MeanResponseMS,
+			Recovering: rc.MeanResponseMS, ReconMin: rc.ReconTimeMS / 60_000}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(p.UnitKB), f1(p.FaultFree), f1(p.Recovering), f1(p.ReconMin),
 		})
@@ -264,24 +299,28 @@ func ExtSkew(o Options, g int) ([]SkewPoint, Table, error) {
 		{"80/20 hot spot", 0.2, 0.8},
 		{"95/5 hot spot", 0.05, 0.95},
 	}
-	var pts []SkewPoint
-	for _, c := range cases {
+	pts, err := RunPoints(o.Workers, len(cases), func(i int) (SkewPoint, error) {
+		c := cases[i]
 		cfg := o.simConfig(g, 210, 0.5)
 		cfg.ReconProcs = 8
 		cfg.HotDataFraction = c.hot
 		cfg.HotAccessFraction = c.acc
 		ff, err := core.RunFaultFree(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-skew %s fault-free: %w", c.label, err)
+			return SkewPoint{}, fmt.Errorf("ext-skew %s fault-free: %w", c.label, err)
 		}
 		rc, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-skew %s recon: %w", c.label, err)
+			return SkewPoint{}, fmt.Errorf("ext-skew %s recon: %w", c.label, err)
 		}
-		p := SkewPoint{Label: c.label, FaultFree: ff.MeanResponseMS,
-			Recovering: rc.MeanResponseMS, ReconMin: rc.ReconTimeMS / 60_000}
-		pts = append(pts, p)
-		t.Rows = append(t.Rows, []string{c.label, f1(p.FaultFree), f1(p.Recovering), f1(p.ReconMin)})
+		return SkewPoint{Label: c.label, FaultFree: ff.MeanResponseMS,
+			Recovering: rc.MeanResponseMS, ReconMin: rc.ReconTimeMS / 60_000}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{p.Label, f1(p.FaultFree), f1(p.Recovering), f1(p.ReconMin)})
 	}
 	return pts, t, nil
 }
@@ -303,22 +342,27 @@ func ExtSparing(o Options, g int) ([]SparingRow, Table, error) {
 	t := Table{ID: "ext-sparing",
 		Title:  fmt.Sprintf("Replacement vs distributed sparing (G=%d, 8-way, rate 210, 50%% reads)", g),
 		Header: []string{"organization", "recon (min)", "response (ms)"}}
-	var rows []SparingRow
-	for _, sparing := range []bool{false, true} {
+	modes := []bool{false, true}
+	rows, err := RunPoints(o.Workers, len(modes), func(i int) (SparingRow, error) {
+		sparing := modes[i]
 		cfg := o.simConfig(g, 210, 0.5)
 		cfg.ReconProcs = 8
 		cfg.DistributedSparing = sparing
 		m, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-sparing sparing=%v: %w", sparing, err)
+			return SparingRow{}, fmt.Errorf("ext-sparing sparing=%v: %w", sparing, err)
 		}
 		label := "replacement disk"
 		if sparing {
 			label = "distributed sparing"
 		}
-		row := SparingRow{Label: label, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS}
-		rows = append(rows, row)
-		t.Rows = append(t.Rows, []string{label, f1(row.ReconMin), f1(row.ResponseMS)})
+		return SparingRow{Label: label, ReconMin: m.ReconTimeMS / 60_000, ResponseMS: m.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{row.Label, f1(row.ReconMin), f1(row.ResponseMS)})
 	}
 	return rows, t, nil
 }
@@ -339,24 +383,30 @@ func ExtReliability(o Options, procs int) ([]ReliabilityRow, Table, error) {
 	t := Table{ID: "ext-mttdl",
 		Title:  fmt.Sprintf("Reliability vs declustering (%d-way recon, rate 210, 50%% reads, MTTF 150k h)", procs),
 		Header: []string{"alpha", "G", "overhead", "recon (min)", "MTTDL (years)"}}
-	var rows []ReliabilityRow
-	for _, g := range o.gs(true) {
+	gs := o.gs(true)
+	rows, err := RunPoints(o.Workers, len(gs), func(i int) (ReliabilityRow, error) {
+		g := gs[i]
 		cfg := o.simConfig(g, 210, 0.5)
 		cfg.ReconProcs = procs
 		cfg.Algorithm = 0
 		m, err := core.RunReconstruction(cfg)
 		if err != nil {
-			return nil, t, fmt.Errorf("ext-mttdl G=%d: %w", g, err)
+			return ReliabilityRow{}, fmt.Errorf("ext-mttdl G=%d: %w", g, err)
 		}
 		rel := analytic.Reliability{C: 21, MTTFHours: 150_000, MTTRHours: m.ReconTimeMS / 3_600_000}
 		mttdl, err := rel.MTTDLHours()
 		if err != nil {
-			return nil, t, err
+			return ReliabilityRow{}, err
 		}
-		row := ReliabilityRow{G: g, Alpha: alphaOf(g), ReconMin: m.ReconTimeMS / 60_000, MTTDLYears: mttdl / (24 * 365.25)}
-		rows = append(rows, row)
+		return ReliabilityRow{G: g, Alpha: alphaOf(g), ReconMin: m.ReconTimeMS / 60_000,
+			MTTDLYears: mttdl / (24 * 365.25)}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
 		t.Rows = append(t.Rows, []string{
-			f2(row.Alpha), fmt.Sprint(g), fmt.Sprintf("%.0f%%", 100/float64(g)),
+			f2(row.Alpha), fmt.Sprint(row.G), fmt.Sprintf("%.0f%%", 100/float64(row.G)),
 			f1(row.ReconMin), fmt.Sprintf("%.0f", row.MTTDLYears),
 		})
 	}

@@ -40,22 +40,23 @@ func DoubleFailureLoss(o Options) ([]DoubleFailurePoint, Table, error) {
 	if o.ScaleNum > 0 && o.ScaleDen > 0 {
 		geom = geom.Scaled(o.ScaleNum, o.ScaleDen)
 	}
-	var pts []DoubleFailurePoint
-	for _, g := range o.gs(true) {
+	gs := o.gs(true)
+	pts, err := RunPoints(o.Workers, len(gs), func(i int) (DoubleFailurePoint, error) {
+		g := gs[i]
 		m, err := core.NewMapping(21, g, 0)
 		if err != nil {
-			return nil, t, fmt.Errorf("double-failure G=%d: %w", g, err)
+			return DoubleFailurePoint{}, fmt.Errorf("double-failure G=%d: %w", g, err)
 		}
 		arr, err := newIdleArray(m, geom)
 		if err != nil {
-			return nil, t, fmt.Errorf("double-failure G=%d array: %w", g, err)
+			return DoubleFailurePoint{}, fmt.Errorf("double-failure G=%d array: %w", g, err)
 		}
 		if err := arr.Fail(0); err != nil {
-			return nil, t, err
+			return DoubleFailurePoint{}, err
 		}
 		df, err := arr.SecondFail(1)
 		if err != nil {
-			return nil, t, err
+			return DoubleFailurePoint{}, err
 		}
 		p := DoubleFailurePoint{
 			G: g, Alpha: m.Alpha(),
@@ -66,9 +67,14 @@ func DoubleFailureLoss(o Options) ([]DoubleFailurePoint, Table, error) {
 		if df.StripesAtRisk > 0 {
 			p.LostFraction = float64(df.StripesLost) / float64(df.StripesAtRisk)
 		}
-		pts = append(pts, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(g), f2(p.Alpha),
+			fmt.Sprint(p.G), f2(p.Alpha),
 			fmt.Sprint(p.StripesAtRisk), fmt.Sprint(p.StripesLost),
 			fmt.Sprint(p.UnitsLost), f2(p.LostFraction),
 		})

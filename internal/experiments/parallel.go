@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunPoints evaluates fn(0..n-1) and returns the results in index order.
+// With workers <= 1 it runs serially in the calling goroutine; otherwise it
+// fans the points out over min(workers, n) goroutines pulling indices from
+// a shared counter.
+//
+// Every simulation point owns its engine, array, RNG streams and metrics
+// registry, so points share no mutable state (the block-design catalog
+// memoization is mutex-guarded) and the result slice — and any table built
+// from it in order — is byte-identical whatever the worker count. On error
+// the lowest-index failure is reported, matching what a serial sweep would
+// have returned; later points may still have run.
+func RunPoints[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -62,7 +62,7 @@ type Injector struct {
 
 	rngs     []*rand.Rand
 	bad      []map[int64]bool // per-slot latent sector set
-	arrivals []*sim.Event     // pending LSE arrival per slot
+	arrivals []sim.Timer      // pending LSE arrival per slot
 	stopped  bool
 	stats    Stats
 
@@ -97,7 +97,7 @@ func New(eng *sim.Engine, geom disk.Geometry, disks int, cfg Config) (*Injector,
 		geom:         geom,
 		rngs:         make([]*rand.Rand, disks),
 		bad:          make([]map[int64]bool, disks),
-		arrivals:     make([]*sim.Event, disks),
+		arrivals:     make([]sim.Timer, disks),
 		lseRatePerMS: cfg.LSERatePerGBHour * gb / 3_600_000,
 	}
 	for i := range in.rngs {
@@ -141,11 +141,9 @@ func (in *Injector) Start() {
 // errors already injected remain until healed.
 func (in *Injector) Stop() {
 	in.stopped = true
-	for slot, ev := range in.arrivals {
-		if ev != nil {
-			in.eng.Cancel(ev)
-			in.arrivals[slot] = nil
-		}
+	for slot, tm := range in.arrivals {
+		in.eng.Cancel(tm) // no-op on the zero Timer or a stale handle
+		in.arrivals[slot] = sim.Timer{}
 	}
 }
 

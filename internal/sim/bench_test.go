@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkScheduleFire measures one schedule/fire cycle against a warm
+// pool — the engine's absolute hot path. Expect 0 allocs/op.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(float64(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleFireDepth64 keeps 64 events resident so every push and
+// pop walks a realistically deep heap.
+func BenchmarkScheduleFireDepth64(b *testing.B) {
+	e := New()
+	fn := func() {}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		e.Schedule(rng.Float64()*100, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.heap[0].time-e.now+rng.Float64()*100, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the lazy-cancellation path: schedule,
+// cancel, and drain the dead node.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New()
+	fn := func() {}
+	e.Schedule(1, fn)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.Schedule(1, fn)
+		e.Cancel(tm)
+		e.Schedule(2, fn)
+		e.Step()
+		e.Step()
+	}
+}

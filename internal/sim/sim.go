@@ -5,33 +5,51 @@
 // were scheduled (FIFO tie-breaking), which makes simulations reproducible
 // independent of map iteration or goroutine scheduling: the engine is
 // entirely single-threaded.
+//
+// The engine is the simulator's innermost loop — every disk transfer,
+// retry, scrub tick and workload arrival is one scheduled event — so the
+// queue is built for throughput: an inlined 4-ary min-heap specialized to
+// event nodes (no interface boxing, no container/heap indirection), a
+// free-list node pool so steady-state schedule/fire cycles allocate
+// nothing, and lazy cancellation (canceled events are skipped when popped
+// instead of being removed from the middle of the heap).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. The zero Event is invalid.
-type Event struct {
+// event is a pooled queue node. Nodes are recycled after they fire or
+// after a canceled node is popped; gen distinguishes incarnations so a
+// stale Timer can never touch a reused node.
+type event struct {
 	time     float64
 	seq      uint64 // FIFO tie-break for equal times
 	fn       func()
-	index    int // heap index, -1 when not queued
+	next     *event // free-list link
+	gen      uint32 // bumped every time the node is recycled
 	canceled bool
 }
 
-// Time returns the simulated time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Timer is a cancelable handle to a scheduled event, returned by Schedule
+// and At. It is a small value; copy it freely. The zero Timer is valid and
+// cancels nothing. A Timer that has already fired, or whose node has been
+// recycled for a later event, is stale: canceling it is a safe no-op (the
+// handle carries the node's generation and the engine checks it).
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Engine is an event-driven simulator. The zero value is ready to use.
 type Engine struct {
-	now    float64
-	seq    uint64
-	fired  uint64
-	queue  eventHeap
-	nowset bool
+	now   float64
+	seq   uint64
+	fired uint64
+	heap  []*event // 4-ary min-heap on (time, seq)
+	free  *event   // recycled nodes
+	dead  int      // canceled events still sitting in the heap
 }
 
 // New returns a new engine with the clock at zero.
@@ -42,7 +60,7 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Schedule runs fn after delay milliseconds of simulated time. A negative
 // delay panics: the simulated past is immutable.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Timer {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: schedule with invalid delay %v", delay))
 	}
@@ -50,31 +68,55 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 }
 
 // At runs fn at absolute simulated time t, which must not precede Now.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule of nil func")
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.time = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+// Cancel unschedules a pending event. Canceling the zero Timer, an
+// already-canceled event, or a stale handle (the event fired, or its node
+// was recycled for a newer event) is a no-op. The node stays in the heap
+// and is discarded when it reaches the top — O(1) instead of a heap fix-up.
+func (e *Engine) Cancel(tm Timer) {
+	ev := tm.ev
+	if ev == nil || ev.gen != tm.gen || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	e.dead++
 }
 
-// Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.queue) }
+// recycle bumps the node's generation (invalidating outstanding Timers)
+// and returns it to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// Pending reports the number of events waiting to fire (canceled events
+// still in the queue are not counted).
+func (e *Engine) Pending() int { return len(e.heap) - e.dead }
 
 // Scheduled returns the total number of events ever scheduled, canceled
 // or not.
@@ -88,14 +130,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Step fires the single next event, advancing the clock to its time.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
 		if ev.canceled {
+			e.dead--
+			e.recycle(ev)
 			continue
 		}
+		fn := ev.fn
 		e.now = ev.time
 		e.fired++
-		ev.fn()
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -110,16 +156,23 @@ func (e *Engine) Run() {
 // RunUntil fires events with time <= t, then advances the clock to exactly t.
 // Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if top.canceled {
+			e.pop()
+			e.dead--
+			e.recycle(top)
 			continue
 		}
-		if next.time > t {
+		if top.time > t {
 			break
 		}
-		e.Step()
+		e.pop()
+		fn := top.fn
+		e.now = top.time
+		e.fired++
+		e.recycle(top)
+		fn()
 	}
 	if t > e.now {
 		e.now = t
@@ -132,36 +185,68 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
-// eventHeap is a min-heap on (time, seq).
-type eventHeap []*Event
+// less orders events by (time, seq): earliest first, FIFO on ties.
+func less(a, b *event) bool {
+	return a.time < b.time || (a.time == b.time && a.seq < b.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// push inserts ev into the 4-ary heap, sifting up with a hole (each level
+// does one compare and one move, not a swap).
+func (e *Engine) push(ev *event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	h[i] = ev
+	e.heap = h
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// pop removes and returns the minimum event.
+func (e *Engine) pop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// siftDown places ev starting from the root, moving the smallest of up to
+// four children into the hole until ev fits.
+func (e *Engine) siftDown(ev *event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

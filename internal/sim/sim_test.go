@@ -137,15 +137,15 @@ func TestCancelIdempotent(t *testing.T) {
 	e := New()
 	ev := e.Schedule(1, func() {})
 	e.Cancel(ev)
-	e.Cancel(ev) // must not panic
-	e.Cancel(nil)
+	e.Cancel(ev)      // must not panic
+	e.Cancel(Timer{}) // zero Timer cancels nothing
 	e.Run()
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var fired []int
-	var evs []*Event
+	var evs []Timer
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, e.Schedule(float64(i), func() { fired = append(fired, i) }))
