@@ -5,7 +5,12 @@ GO ?= go
 BENCH_PATTERN ?= FaultFree|Schedule
 BENCH_PKGS ?= . ./internal/sim
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race vet fmt-check fault-smoke verify clean
+# Static-analysis tool versions, pinned so lint results are reproducible;
+# `go run pkg@version` fetches them on demand — no global install needed.
+STATICCHECK_VERSION ?= v0.6.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -56,6 +61,24 @@ fmt-check:
 fault-smoke:
 	$(GO) test -race ./internal/fault/... ./internal/array/...
 	$(GO) run ./examples/continuous
+
+# Pinned static analysis: staticcheck (bug-prone constructs, dead code,
+# style drift) and govulncheck (known CVEs reachable from this module).
+# Needs network access to fetch the pinned tools on first run.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# Coverage gate: total statement coverage must stay at or above the floor
+# checked into .coverage-floor. Raise the floor when coverage improves;
+# never lower it to make a failing build pass.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat .coverage-floor); \
+	echo "coverage: total $$total% (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
 # test suite, the fault-injection and parallel-sweep race smokes, and a

@@ -11,7 +11,8 @@
 //
 // Experiments: fig4-3, fig6-1, fig6-2, fig8 (8-1..8-4), table8-1, fig8-6,
 // ext-throttle, ext-priority, ext-mttdl, ext-datamap, ext-mirror,
-// ext-sparing, ext-unitsize, ext-skew, double-failure.
+// ext-sparing, ext-unitsize, ext-skew, ext-sched, ext-readahead,
+// double-failure.
 package main
 
 import (
@@ -126,6 +127,16 @@ func main() {
 	}
 	if selected("ext-skew") {
 		_, t, err := experiments.ExtSkew(o, 5)
+		check(err)
+		emit(t)
+	}
+	if selected("ext-sched") {
+		_, t, err := experiments.ExtSched(o, nil)
+		check(err)
+		emit(t)
+	}
+	if selected("ext-readahead") {
+		_, t, err := experiments.ExtReadahead(o, 5)
 		check(err)
 		emit(t)
 	}

@@ -21,11 +21,26 @@ func stripWallClock(s string) string {
 	return strings.Join(keep, "\n")
 }
 
+// goldenDir returns the directory golden outputs are written into: the
+// RAIDSIM_GOLDEN_DIR environment variable when set (CI points it at a
+// workspace path and uploads it as an artifact when a determinism test
+// fails), else a per-test temp dir.
+func goldenDir(t *testing.T) string {
+	if dir := os.Getenv("RAIDSIM_GOLDEN_DIR"); dir != "" {
+		sub := filepath.Join(dir, t.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return t.TempDir()
+}
+
 // TestGoldenDeterminism runs the full command twice with every fault
 // process enabled and requires byte-identical results: same stdout (modulo
 // the wall-clock line), same Prometheus export, same JSONL event trace.
 func TestGoldenDeterminism(t *testing.T) {
-	dir := t.TempDir()
+	dir := goldenDir(t)
 	invoke := func(tag string) (string, []byte, []byte) {
 		metrics := filepath.Join(dir, tag+".prom")
 		events := filepath.Join(dir, tag+".jsonl")
@@ -72,6 +87,108 @@ func TestGoldenDeterminism(t *testing.T) {
 		if !strings.Contains(out1, want) {
 			t.Errorf("fault summary missing %q in output:\n%s", want, out1)
 		}
+	}
+}
+
+// TestGoldenDeterminismPerScheduler repeats the golden check for every
+// scheduling policy with read-ahead, demotion and age promotion all
+// active: same seed and flags must reproduce stdout and the JSONL event
+// trace byte for byte under each policy.
+func TestGoldenDeterminismPerScheduler(t *testing.T) {
+	for _, sched := range []string{"cvscan", "fifo", "sstf", "cscan"} {
+		t.Run(sched, func(t *testing.T) {
+			dir := goldenDir(t)
+			invoke := func(tag string) (string, []byte) {
+				events := filepath.Join(dir, tag+".jsonl")
+				args := []string{
+					"-mode", "recon", "-c", "21", "-g", "5", "-scale", "50",
+					"-rate", "105", "-reads", "0.5", "-procs", "4",
+					"-warmup", "2", "-measure", "10",
+					"-sched", sched, "-readahead", "2",
+					"-prio", "demote", "-prio-age", "40", "-seq", "0.3",
+					"-events", events,
+				}
+				var out, errb bytes.Buffer
+				if err := run(args, &out, &errb); err != nil {
+					t.Fatalf("run %s: %v\nstderr: %s", tag, err, errb.String())
+				}
+				ev, err := os.ReadFile(events)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stdout := strings.ReplaceAll(out.String(), tag+".jsonl", "OUT.jsonl")
+				return stripWallClock(stdout), ev
+			}
+			out1, ev1 := invoke("a")
+			out2, ev2 := invoke("b")
+			if out1 != out2 {
+				t.Errorf("stdout differs between identical -sched %s runs:\n--- a ---\n%s\n--- b ---\n%s",
+					sched, out1, out2)
+			}
+			if !bytes.Equal(ev1, ev2) {
+				t.Errorf("-sched %s JSONL event traces differ between identical runs", sched)
+			}
+			if !strings.Contains(out1, "sched:     "+sched) {
+				t.Errorf("missing sched description line in output:\n%s", out1)
+			}
+			if !strings.Contains(out1, "disk cache:") {
+				t.Errorf("missing disk cache line with -readahead 2:\n%s", out1)
+			}
+		})
+	}
+}
+
+// TestExplicitSchedulingDefaultsMatchImplicit pins the compatibility
+// contract: spelling out every scheduling default produces byte-identical
+// output to not passing the flags at all (the pre-scheduler behaviour).
+func TestExplicitSchedulingDefaultsMatchImplicit(t *testing.T) {
+	invoke := func(extra ...string) string {
+		args := append([]string{
+			"-mode", "recon", "-c", "21", "-g", "5", "-scale", "50",
+			"-rate", "105", "-reads", "0.5", "-procs", "4",
+			"-warmup", "2", "-measure", "10",
+		}, extra...)
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run %v: %v\nstderr: %s", extra, err, errb.String())
+		}
+		return stripWallClock(out.String())
+	}
+	implicit := invoke()
+	explicit := invoke("-sched", "cvscan", "-readahead", "0", "-prio", "equal", "-prio-age", "0", "-seq", "0")
+	if implicit != explicit {
+		t.Errorf("explicit scheduling defaults diverge from implicit ones:\n--- implicit ---\n%s\n--- explicit ---\n%s",
+			implicit, explicit)
+	}
+	if strings.Contains(implicit, "sched:") {
+		t.Errorf("sched description line printed for a default run:\n%s", implicit)
+	}
+}
+
+// TestSchedulerChangesServiceOrder requires the policies to actually take
+// effect end to end: FIFO and SSTF runs of the same loaded configuration
+// must report different response times.
+func TestSchedulerChangesServiceOrder(t *testing.T) {
+	invoke := func(sched string) string {
+		args := []string{
+			"-mode", "degraded", "-c", "21", "-g", "5", "-scale", "50",
+			"-rate", "315", "-reads", "0.5",
+			"-warmup", "2", "-measure", "10", "-sched", sched,
+		}
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run -sched %s: %v\nstderr: %s", sched, err, errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, "user response:") {
+				return line
+			}
+		}
+		t.Fatalf("no response line in output:\n%s", out.String())
+		return ""
+	}
+	if fifo, sstf := invoke("fifo"), invoke("sstf"); fifo == sstf {
+		t.Errorf("FIFO and SSTF produced identical response lines under load:\n%s", fifo)
 	}
 }
 

@@ -89,6 +89,22 @@ type DesignParams = blockdesign.Params
 // Geometry describes a disk drive model.
 type Geometry = disk.Geometry
 
+// SchedPolicy selects a disk's queue scheduling discipline (see
+// SimConfig.SchedPolicy); the zero value is the paper's CVSCAN.
+type SchedPolicy = disk.Policy
+
+// The disk queue scheduling policies.
+const (
+	SchedCVSCAN = disk.CVSCAN
+	SchedFIFO   = disk.FIFO
+	SchedSSTF   = disk.SSTF
+	SchedCSCAN  = disk.CSCAN
+)
+
+// ParseSchedPolicy parses a policy name ("cvscan", "fifo", "sstf",
+// "cscan"; empty selects CVSCAN).
+func ParseSchedPolicy(s string) (SchedPolicy, error) { return disk.ParsePolicy(s) }
+
 // Trace is a recorded user-level I/O trace (see SimConfig.CaptureTrace).
 type Trace = trace.Log
 

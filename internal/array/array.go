@@ -69,6 +69,16 @@ type Config struct {
 	UnitSectors int
 	// CvscanBias is the V(R) scheduling bias for every disk.
 	CvscanBias float64
+	// SchedPolicy selects each disk's queue scheduler; the zero value is
+	// CVSCAN, the original behaviour.
+	SchedPolicy disk.Policy
+	// ReadAheadTracks enables per-disk track read-ahead buffers of that
+	// many tracks; 0 disables them.
+	ReadAheadTracks int
+	// PrioAgeMS bounds scheduling-class starvation: a queued request older
+	// than this competes in the top class regardless of its priority.
+	// 0 keeps strict class domination.
+	PrioAgeMS float64
 	// Algorithm selects the reconstruction algorithm.
 	Algorithm ReconAlgorithm
 	// ReconProcs is the number of parallel reconstruction processes
@@ -242,7 +252,7 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 	a.disks = make([]*disk.Disk, c)
 	a.contents = make([][]uint64, c)
 	for i := range a.disks {
-		a.disks[i] = disk.New(eng, cfg.Geom, cfg.CvscanBias)
+		a.disks[i] = disk.NewWithConfig(eng, cfg.Geom, a.diskConfig())
 		if cfg.Faults != nil {
 			a.disks[i].SetFaultHook(cfg.Faults.Hook(i), cfg.Faults.TimeoutMS())
 		}
@@ -251,6 +261,18 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 	a.expected = make([]uint64, a.dataUnits)
 	a.initContents()
 	return a, nil
+}
+
+// diskConfig builds the per-drive configuration shared by the initial
+// drives and any replacement installed later, so a replacement schedules
+// and caches exactly like the drive it replaces.
+func (a *Array) diskConfig() disk.Config {
+	return disk.Config{
+		Policy:          a.cfg.SchedPolicy,
+		CvscanBias:      a.cfg.CvscanBias,
+		ReadAheadTracks: a.cfg.ReadAheadTracks,
+		AgePromoteMS:    a.cfg.PrioAgeMS,
+	}
 }
 
 // splitmix64 is a tiny strong mixer for generating distinct unit values.
@@ -400,7 +422,7 @@ func (a *Array) Replace() error {
 // observer and fault hook and clearing the modeled contents and any latent
 // sector errors the old platters carried.
 func (a *Array) installDisk(slot int) {
-	a.disks[slot] = disk.New(a.eng, a.cfg.Geom, a.cfg.CvscanBias)
+	a.disks[slot] = disk.NewWithConfig(a.eng, a.cfg.Geom, a.diskConfig())
 	if a.diskObs != nil {
 		a.disks[slot].SetObserver(func(e disk.Event) { a.diskObs(slot, e) })
 	}

@@ -30,6 +30,17 @@ type SimConfig struct {
 	CvscanBias         float64 // V(R) bias; 0 = 0.2
 	MaxTuples          int     // block design table cap; 0 = default
 
+	// SchedPolicy selects the per-disk queue scheduler; the zero value is
+	// disk.CVSCAN, the original behaviour.
+	SchedPolicy disk.Policy
+	// ReadAheadTracks gives every disk a track read-ahead buffer of that
+	// many tracks; 0 (the default) disables buffering.
+	ReadAheadTracks int
+	// PrioAgeMS bounds how long a reconstruction or scrub request can be
+	// starved by higher-class user work: once queued that long it competes
+	// in the top class. 0 keeps strict class domination.
+	PrioAgeMS float64
+
 	RatePerSec   float64 // user accesses per second
 	ReadFraction float64 // fraction of user accesses that are reads
 	AccessUnits  int     // access size in stripe units; 0 = 1 (4 KB)
@@ -37,7 +48,11 @@ type SimConfig struct {
 	// (e.g. 0.2/0.8); zero means uniform as in the paper.
 	HotDataFraction   float64
 	HotAccessFraction float64
-	Seed              int64
+	// SequentialFraction makes that fraction of user accesses continue at
+	// the address after the previous access (see workload.Config); 0 keeps
+	// the paper's pure random stream.
+	SequentialFraction float64
+	Seed               int64
 
 	// ParallelDataMap replaces the paper's stripe-index data mapping
 	// with the round-robin mapping that satisfies maximal parallelism
@@ -160,6 +175,11 @@ type Metrics struct {
 	P90ResponseMS  float64
 	Requests       int
 
+	// Disk-level scheduling and caching aggregates, summed over the
+	// drives at end of run (both zero with read-ahead off).
+	CacheHits       int64
+	CacheHitSectors int64
+
 	// Reconstruction-specific (zero for fault-free/degraded runs).
 	ReconTimeMS      float64
 	ReconCycles      int64
@@ -207,6 +227,10 @@ type runner struct {
 	// Fault processes (nil/zero when disabled).
 	faults  *fault.Injector
 	scrubMS float64
+
+	// raOn gates the cache-hit series and gauges so runs without
+	// read-ahead export byte-identical metrics to builds predating it.
+	raOn bool
 
 	// Instrumentation (nil-safe no-ops when disabled).
 	reg       *metrics.Registry
@@ -317,6 +341,9 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		Geom:                      cfg.Geom,
 		UnitSectors:               cfg.UnitSectors,
 		CvscanBias:                cfg.CvscanBias,
+		SchedPolicy:               cfg.SchedPolicy,
+		ReadAheadTracks:           cfg.ReadAheadTracks,
+		PrioAgeMS:                 cfg.PrioAgeMS,
 		Algorithm:                 cfg.Algorithm,
 		ReconProcs:                cfg.ReconProcs,
 		SmallWriteOpt:             true,
@@ -334,13 +361,14 @@ func newRunner(cfg SimConfig) (*runner, error) {
 	var src workload.Source = cfg.Source
 	if src == nil {
 		src, err = workload.New(workload.Config{
-			RatePerSec:        cfg.RatePerSec,
-			ReadFraction:      cfg.ReadFraction,
-			DataUnits:         arr.DataUnits(),
-			AccessUnits:       cfg.AccessUnits,
-			HotDataFraction:   cfg.HotDataFraction,
-			HotAccessFraction: cfg.HotAccessFraction,
-			Seed:              cfg.Seed,
+			RatePerSec:         cfg.RatePerSec,
+			ReadFraction:       cfg.ReadFraction,
+			DataUnits:          arr.DataUnits(),
+			AccessUnits:        cfg.AccessUnits,
+			HotDataFraction:    cfg.HotDataFraction,
+			HotAccessFraction:  cfg.HotAccessFraction,
+			SequentialFraction: cfg.SequentialFraction,
+			Seed:               cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
@@ -348,7 +376,7 @@ func newRunner(cfg SimConfig) (*runner, error) {
 	}
 	r := &runner{
 		eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1,
-		faults: inj, scrubMS: cfg.ScrubIntervalMS,
+		faults: inj, scrubMS: cfg.ScrubIntervalMS, raOn: cfg.ReadAheadTracks > 0,
 		reg: cfg.Metrics, tracer: cfg.Tracer, sampleMS: cfg.SampleEveryMS,
 	}
 	if r.reg != nil {
@@ -406,11 +434,20 @@ func (r *runner) startSampling() {
 	util := make([]*metrics.Series, n)
 	depth := make([]*metrics.Series, n)
 	seek := make([]*metrics.Series, n)
+	var hits []*metrics.Series
 	prev := make([]disk.Stats, n)
 	for i := 0; i < n; i++ {
 		util[i] = r.reg.Series(fmt.Sprintf(`disk_util{disk="%d"}`, i))
 		depth[i] = r.reg.Series(fmt.Sprintf(`disk_queue_depth{disk="%d"}`, i))
 		seek[i] = r.reg.Series(fmt.Sprintf(`disk_seek_cyls_avg{disk="%d"}`, i))
+	}
+	if r.raOn {
+		// Registered only with read-ahead enabled so default exports stay
+		// byte-identical to builds without the cache.
+		hits = make([]*metrics.Series, n)
+		for i := 0; i < n; i++ {
+			hits[i] = r.reg.Series(fmt.Sprintf(`disk_cache_hit_rate{disk="%d"}`, i))
+		}
 	}
 	var tick func()
 	tick = func() {
@@ -436,6 +473,17 @@ func (r *runner) startSampling() {
 				avg = float64(moved) / float64(completed)
 			}
 			seek[i].Observe(now, avg)
+			if hits != nil {
+				cached := st.CacheHits - prev[i].CacheHits
+				if cached < 0 {
+					cached = st.CacheHits
+				}
+				rate := 0.0
+				if completed > 0 {
+					rate = float64(cached) / float64(completed)
+				}
+				hits[i].Observe(now, rate)
+			}
 			prev[i] = st
 		}
 		r.eng.Schedule(r.sampleMS, tick)
@@ -469,6 +517,10 @@ func (r *runner) exportFinal() {
 		r.reg.Counter("disk_requests" + lbl).Add(st.Completed)
 		r.reg.Counter("disk_sectors" + lbl).Add(st.SectorsMoved)
 		r.reg.Counter("disk_seek_cyls" + lbl).Add(st.SeekCyls)
+		if r.raOn {
+			r.reg.Counter("disk_cache_hits" + lbl).Add(st.CacheHits)
+			r.reg.Counter("disk_cache_hit_sectors" + lbl).Add(st.CacheHitSectors)
+		}
 	}
 	// Fault gauges only exist when fault processes ran, so fault-free
 	// exports stay byte-identical to builds without fault support.
@@ -558,6 +610,11 @@ func (r *runner) metrics() Metrics {
 	}
 	if r.faults != nil {
 		m.LSEArrivals = r.faults.Stats().LSEArrivals
+	}
+	for i := 0; i < r.arr.Layout().Disks(); i++ {
+		st := r.arr.Disk(i).Stats()
+		m.CacheHits += st.CacheHits
+		m.CacheHitSectors += st.CacheHitSectors
 	}
 	return m
 }

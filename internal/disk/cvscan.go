@@ -1,55 +1,19 @@
 package disk
 
-// cvscan implements the V(R) continuum of disk scheduling algorithms
+// pickCVSCAN implements the V(R) continuum of disk scheduling algorithms
 // [Geist87]: a request's effective distance is its cylinder distance, plus a
-// penalty of r*Cylinders when serving it would reverse the current sweep
-// direction. r = 0 is shortest-seek-time-first; r = 1 is SCAN. Ties break by
-// arrival order. Priority classes strictly dominate: only requests of the
-// highest priority present compete.
-type cvscan struct {
-	bias          float64
-	cyls          int
-	sectorsPerCyl int64
-	pending       []*Request
-	// dir is the current sweep direction: +1 toward higher cylinders,
-	// -1 toward lower, 0 before any movement.
-	dir int
-}
-
-func newCvscan(r float64, cylinders int) *cvscan {
-	return &cvscan{bias: r, cyls: cylinders}
-}
-
-func (s *cvscan) len() int { return len(s.pending) }
-
-func (s *cvscan) push(r *Request, g Geometry) {
-	if s.sectorsPerCyl == 0 {
-		s.sectorsPerCyl = g.SectorsPerCylinder()
-	}
-	s.pending = append(s.pending, r)
-}
-
-// pop removes and returns the best request for a head at cylinder headCyl,
-// or nil if none are pending.
-func (s *cvscan) pop(headCyl int) *Request {
-	if len(s.pending) == 0 {
-		return nil
-	}
-	// Restrict to the highest priority class present.
-	maxPrio := s.pending[0].Priority
-	for _, r := range s.pending[1:] {
-		if r.Priority > maxPrio {
-			maxPrio = r.Priority
-		}
-	}
-
+// penalty of bias*Cylinders when serving it would reverse the current sweep
+// direction. bias = 0 is shortest-seek-time-first; bias = 1 is SCAN. Ties
+// break by arrival order. This is the paper's raidSim scheduler and the
+// default Policy.
+func (s *schedQueue) pickCVSCAN(maxPrio int, now float64, headCyl int) int {
 	best := -1
 	var bestCost float64
 	for i, r := range s.pending {
-		if r.Priority != maxPrio {
+		if !s.eligible(r, maxPrio, now) {
 			continue
 		}
-		dist := s.cylOf(r) - headCyl
+		dist := r.cyl - headCyl
 		cost := float64(dist)
 		reverse := false
 		if dist < 0 {
@@ -67,17 +31,5 @@ func (s *cvscan) pop(headCyl int) *Request {
 			bestCost = cost
 		}
 	}
-	r := s.pending[best]
-	s.pending = append(s.pending[:best], s.pending[best+1:]...)
-
-	if cyl := s.cylOf(r); cyl > headCyl {
-		s.dir = 1
-	} else if cyl < headCyl {
-		s.dir = -1
-	}
-	return r
-}
-
-func (s *cvscan) cylOf(r *Request) int {
-	return int(r.Start / s.sectorsPerCyl)
+	return best
 }

@@ -48,9 +48,12 @@ type Request struct {
 	Count int   // number of sectors, > 0
 	Write bool  // direction; timing is symmetric, kept for accounting
 
-	// Priority orders service classes: the scheduler only considers
-	// requests of the highest priority present in the queue. Within a
-	// class, CVSCAN chooses. Zero is the default class.
+	// Priority tags the request's service class (user I/O vs demoted
+	// reconstruction/scrub I/O): the scheduler only considers requests of
+	// the highest priority present in the queue, except that a request
+	// older than the configured age bound is promoted into the top class.
+	// Within a class, the configured Policy chooses. Zero is the default
+	// (user) class.
 	Priority int
 
 	// OnDone fires when the transfer completes, with the simulated times
@@ -59,12 +62,13 @@ type Request struct {
 
 	queuedAt float64
 	seq      uint64
+	cyl      int // target cylinder, computed once at Submit
 }
 
 // Stats accumulates per-disk counters.
 type Stats struct {
-	Completed    int64   // requests finished
-	SectorsMoved int64   // total sectors transferred
+	Completed    int64   // requests finished (including read-ahead hits)
+	SectorsMoved int64   // total sectors mechanically transferred
 	BusyMS       float64 // total time the arm was servicing requests
 	SeekMS       float64 // portion of BusyMS spent seeking
 	RotateMS     float64 // portion spent waiting for rotation
@@ -74,21 +78,34 @@ type Stats struct {
 	SeekCyls     int64 // total cylinders traveled to reach request starts
 	MediaErrors  int64 // transfers that hit a latent sector error
 	Timeouts     int64 // transfers lost to transient faults
+
+	// Read-ahead activity (always zero with ReadAheadTracks = 0).
+	CacheHits       int64 // reads served from the track read-ahead buffer
+	CacheHitSectors int64 // sectors those hits returned without platter work
 }
 
 // Disk is a single simulated drive attached to an event engine. It services
-// one request at a time; pending requests wait in a scheduler queue.
+// one request at a time; pending requests wait in a scheduler queue, except
+// reads served from the track read-ahead buffer, which complete immediately.
 type Disk struct {
 	eng   *sim.Engine
 	geom  Geometry
 	seek  SeekCurve
-	sched *cvscan
+	sched *schedQueue
 
 	busy     bool
 	headCyl  int
 	seq      uint64
 	stats    Stats
 	observer func(Event)
+
+	// Track read-ahead buffer: [raLo, raHi) is the LBA window currently
+	// held in drive RAM; empty when raLo >= raHi. hitFree pools hit
+	// completion records (see readahead.go).
+	raTracks int
+	raLo     int64
+	raHi     int64
+	hitFree  []*raHit
 
 	// Completion state for the one request in service. startNext fills
 	// these and schedules completeFn — a method value bound once at
@@ -106,21 +123,53 @@ type Disk struct {
 	timeoutMS float64
 }
 
+// Config selects a drive's scheduling and caching behaviour. The zero
+// value is the paper's configuration: CVSCAN with bias 0 (callers that
+// want the experiments' default bias pass 0.2 explicitly), no read-ahead,
+// and strict priority-class domination.
+type Config struct {
+	// Policy is the queue scheduling discipline; zero = CVSCAN.
+	Policy Policy
+	// CvscanBias is V(R)'s reversal penalty in [0,1], used only by CVSCAN.
+	CvscanBias float64
+	// ReadAheadTracks enables the track read-ahead buffer: after each
+	// successful read the drive holds the rest of the current track plus
+	// ReadAheadTracks-1 following tracks, serving contained reads at zero
+	// mechanical cost. 0 disables the buffer entirely.
+	ReadAheadTracks int
+	// AgePromoteMS bounds priority starvation: a queued request older than
+	// this is promoted into the top priority class present. 0 = never
+	// promote (lower classes wait for the queue above them to drain).
+	AgePromoteMS float64
+}
+
 // New creates a disk with CVSCAN (V(R)) scheduling, bias ratio r in [0,1]:
 // r = 0 degenerates to SSTF, r = 1 to SCAN. The paper uses CVSCAN [Geist87];
 // we default experiments to r = 0.2.
 func New(eng *sim.Engine, geom Geometry, r float64) *Disk {
+	return NewWithConfig(eng, geom, Config{Policy: CVSCAN, CvscanBias: r})
+}
+
+// NewWithConfig creates a disk with the full scheduling configuration.
+func NewWithConfig(eng *sim.Engine, geom Geometry, cfg Config) *Disk {
 	if err := geom.Validate(); err != nil {
 		panic(err)
 	}
-	if r < 0 || r > 1 {
-		panic(fmt.Sprintf("disk: CVSCAN bias %v out of [0,1]", r))
+	if cfg.CvscanBias < 0 || cfg.CvscanBias > 1 {
+		panic(fmt.Sprintf("disk: CVSCAN bias %v out of [0,1]", cfg.CvscanBias))
+	}
+	if cfg.ReadAheadTracks < 0 {
+		panic(fmt.Sprintf("disk: read-ahead of %d tracks", cfg.ReadAheadTracks))
+	}
+	if cfg.AgePromoteMS < 0 {
+		panic(fmt.Sprintf("disk: age promotion bound %v ms", cfg.AgePromoteMS))
 	}
 	d := &Disk{
-		eng:   eng,
-		geom:  geom,
-		seek:  NewSeekCurve(geom),
-		sched: newCvscan(r, geom.Cylinders),
+		eng:      eng,
+		geom:     geom,
+		seek:     NewSeekCurve(geom),
+		sched:    newSchedQueue(cfg.Policy, cfg.CvscanBias, geom.Cylinders, cfg.AgePromoteMS),
+		raTracks: cfg.ReadAheadTracks,
 	}
 	d.completeFn = d.complete
 	return d
@@ -155,6 +204,8 @@ func (d *Disk) SetFaultHook(hook FaultHook, timeoutMS float64) {
 }
 
 // Submit queues a transfer. The request fires OnDone when it completes.
+// Reads wholly inside the read-ahead buffer complete immediately at zero
+// mechanical cost; writes overlapping the buffer invalidate it.
 func (d *Disk) Submit(r *Request) {
 	if r.Count <= 0 {
 		panic(fmt.Sprintf("disk: request with count %d", r.Count))
@@ -163,10 +214,19 @@ func (d *Disk) Submit(r *Request) {
 		panic(fmt.Sprintf("disk: request [%d,%d) outside disk of %d sectors",
 			r.Start, r.Start+int64(r.Count), d.geom.TotalSectors()))
 	}
+	if d.raTracks > 0 {
+		if r.Write {
+			d.raInvalidate(r.Start, r.Count)
+		} else if d.raCovers(r.Start, r.Count) {
+			d.serveFromBuffer(r)
+			return
+		}
+	}
 	r.queuedAt = d.eng.Now()
 	r.seq = d.seq
 	d.seq++
-	d.sched.push(r, d.geom)
+	r.cyl = int(r.Start / d.geom.SectorsPerCylinder())
+	d.sched.push(r)
 	if n := d.sched.len(); n > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = n
 	}
@@ -176,7 +236,7 @@ func (d *Disk) Submit(r *Request) {
 }
 
 func (d *Disk) startNext() {
-	r := d.sched.pop(d.headCyl)
+	r := d.sched.pop(d.eng.Now(), d.headCyl)
 	if r == nil {
 		return
 	}
@@ -234,6 +294,9 @@ func (d *Disk) complete() {
 		d.stats.SectorsMoved += int64(r.Count)
 		if st == MediaError {
 			d.stats.MediaErrors++
+		} else if !r.Write && d.raTracks > 0 {
+			// A clean read leaves the track buffer primed behind it.
+			d.raFill(r.Start, r.Count)
 		}
 	}
 	if d.observer != nil {

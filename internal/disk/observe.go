@@ -17,6 +17,7 @@ type Event struct {
 	Write    bool
 	Priority int
 	Status   Status // OK, MediaError, or Timeout
+	CacheHit bool   // served from the track read-ahead buffer
 }
 
 // SetObserver registers a callback invoked at every request completion.

@@ -1,0 +1,205 @@
+package disk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"declust/internal/sim"
+)
+
+func newRADisk(tracks int) (*sim.Engine, *Disk) {
+	eng := sim.New()
+	return eng, NewWithConfig(eng, IBM0661(), Config{CvscanBias: 0.2, ReadAheadTracks: tracks})
+}
+
+func TestSequentialReadHitsBuffer(t *testing.T) {
+	eng, d := newRADisk(1)
+	var first, second struct{ start, finish float64 }
+	d.Submit(&Request{Start: 0, Count: 8, OnDone: func(s, f float64, _ Status) { first.start, first.finish = s, f }})
+	eng.Run()
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(s, f float64, _ Status) { second.start, second.finish = s, f }})
+	eng.Run()
+	if first.finish <= first.start {
+		t.Fatal("first read paid no mechanical time")
+	}
+	if second.finish != second.start {
+		t.Fatalf("sequential hit took %v ms, want 0", second.finish-second.start)
+	}
+	st := d.Stats()
+	if st.CacheHits != 1 || st.CacheHitSectors != 8 {
+		t.Fatalf("cache hits %d / %d sectors, want 1 / 8", st.CacheHits, st.CacheHitSectors)
+	}
+	// The hit moved no platter sectors and kept the arm idle.
+	if st.SectorsMoved != 8 {
+		t.Fatalf("sectors moved %d, want 8 (only the first read)", st.SectorsMoved)
+	}
+}
+
+func TestReadAheadWindowEndsAtTrackBoundary(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	// Sectors 8..47 are on the same track: hits. Sector 48 starts the next
+	// track: beyond a 1-track window, so it must pay mechanical time.
+	d.Submit(&Request{Start: 8, Count: 40})
+	eng.Run()
+	if st := d.Stats(); st.CacheHits != 1 {
+		t.Fatalf("rest-of-track read: %d hits, want 1", st.CacheHits)
+	}
+	var svc float64
+	d.Submit(&Request{Start: 48, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc == 0 {
+		t.Fatal("next-track read hit a 1-track window")
+	}
+}
+
+func TestReadAheadMultipleTracks(t *testing.T) {
+	eng, d := newRADisk(2)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	// A 2-track window after reading [0,8) covers [8, 96).
+	var svc float64
+	d.Submit(&Request{Start: 48, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc != 0 {
+		t.Fatalf("second-track read took %v ms under a 2-track window, want 0", svc)
+	}
+	d.Submit(&Request{Start: 96, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc == 0 {
+		t.Fatal("third-track read hit a 2-track window")
+	}
+}
+
+func TestWriteInvalidatesBuffer(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	d.Submit(&Request{Start: 16, Count: 8, Write: true})
+	eng.Run()
+	var svc float64
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc == 0 {
+		t.Fatal("read hit a buffer an overlapping write should have invalidated")
+	}
+	if d.Stats().CacheHits != 0 {
+		t.Fatalf("cache hits %d, want 0", d.Stats().CacheHits)
+	}
+}
+
+func TestNonOverlappingWriteKeepsBuffer(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	// A write far away does not touch the buffered track.
+	d.Submit(&Request{Start: 48 * 1000, Count: 8, Write: true})
+	eng.Run()
+	var svc float64
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc != 0 {
+		t.Fatalf("read missed (%v ms) despite a non-overlapping write", svc)
+	}
+}
+
+func TestHitWindowConsumedMonotonically(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	// Consume [24,32): the window advances past it, so the skipped-over
+	// range [8,24) is no longer served (the stream moved on).
+	d.Submit(&Request{Start: 24, Count: 8})
+	eng.Run()
+	var svc float64
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc == 0 {
+		t.Fatal("backward read hit a consumed window")
+	}
+}
+
+func TestHitCompletesWhileArmBusy(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	// Occupy the arm with a far request, then submit a buffered read: the
+	// hit must complete now, not after the mechanical transfer.
+	var far, hit float64
+	d.Submit(&Request{Start: 48 * 900 * 14, Count: 8, OnDone: func(_, f float64, _ Status) { far = f }})
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(_, f float64, _ Status) { hit = f }})
+	eng.Run()
+	if hit >= far {
+		t.Fatalf("buffered hit finished at %v ms, after the mechanical transfer at %v ms", hit, far)
+	}
+}
+
+func TestMediaErrorDoesNotFillBuffer(t *testing.T) {
+	eng, d := newRADisk(1)
+	d.SetFaultHook(func(int64, int, bool) Status { return MediaError }, 10)
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	d.SetFaultHook(nil, 0)
+	var svc float64
+	d.Submit(&Request{Start: 8, Count: 8, OnDone: func(s, f float64, _ Status) { svc = f - s }})
+	eng.Run()
+	if svc == 0 {
+		t.Fatal("read hit a buffer primed by a failed read")
+	}
+}
+
+func TestReadAheadObserverMarksHits(t *testing.T) {
+	eng, d := newRADisk(1)
+	var events []Event
+	d.SetObserver(func(e Event) { events = append(events, e) })
+	d.Submit(&Request{Start: 0, Count: 8})
+	eng.Run()
+	d.Submit(&Request{Start: 8, Count: 8})
+	eng.Run()
+	if len(events) != 2 {
+		t.Fatalf("observed %d events, want 2", len(events))
+	}
+	if events[0].CacheHit || !events[1].CacheHit {
+		t.Fatalf("cache-hit flags %v/%v, want false/true", events[0].CacheHit, events[1].CacheHit)
+	}
+	if e := events[1]; e.Start != e.Finish || e.SeekDist != 0 {
+		t.Fatalf("hit event has service time %v and seek %d, want 0/0", e.Finish-e.Start, e.SeekDist)
+	}
+}
+
+// TestReadAheadOffIsByteIdenticalToLegacy pins the determinism contract:
+// ReadAheadTracks = 0 leaves every completion time exactly as the
+// pre-read-ahead drive produced it.
+func TestReadAheadOffIsByteIdenticalToLegacy(t *testing.T) {
+	trace := func(d *Disk, eng *sim.Engine) []float64 {
+		rng := rand.New(rand.NewSource(13))
+		var times []float64
+		for i := 0; i < 300; i++ {
+			d.Submit(&Request{
+				Start: rng.Int63n(d.Geometry().TotalSectors()/8) * 8, Count: 8,
+				Write:  i%2 == 0,
+				OnDone: func(_, f float64, _ Status) { times = append(times, f) },
+			})
+		}
+		eng.Run()
+		return times
+	}
+	e1 := sim.New()
+	legacy := trace(New(e1, IBM0661(), 0.2), e1)
+	e2 := sim.New()
+	off := trace(NewWithConfig(e2, IBM0661(), Config{CvscanBias: 0.2, ReadAheadTracks: 0}), e2)
+	if !reflect.DeepEqual(legacy, off) {
+		t.Fatal("ReadAheadTracks=0 diverged from the legacy constructor")
+	}
+}
+
+func TestNegativeReadAheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative read-ahead")
+		}
+	}()
+	NewWithConfig(sim.New(), IBM0661(), Config{ReadAheadTracks: -1})
+}

@@ -1,0 +1,192 @@
+package disk
+
+import "fmt"
+
+// Policy selects the head-scheduling discipline a drive applies to its
+// pending queue. The zero value is CVSCAN, the V(R) continuum the paper's
+// raidSim uses, so existing configurations are unchanged.
+type Policy int
+
+const (
+	// CVSCAN is the V(R) continuum [Geist87] with a configurable reversal
+	// bias r: r = 0 degenerates to SSTF, r = 1 to SCAN (see cvscan.go).
+	CVSCAN Policy = iota
+	// FIFO serves requests strictly in arrival order within a priority
+	// class: no seek optimization at all, the baseline real controllers
+	// started from.
+	FIFO
+	// SSTF serves the request with the shortest seek from the current head
+	// position. Maximum throughput, but edge cylinders can starve under
+	// sustained load.
+	SSTF
+	// CSCAN is the circular elevator: the head sweeps toward higher
+	// cylinders only, serving requests in cylinder order, and wraps to the
+	// lowest pending cylinder when none remain ahead. Fairer tail latency
+	// than SSTF at a small throughput cost.
+	CSCAN
+)
+
+// ParsePolicy maps a configuration string (as used by raidsim's -sched
+// flag) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "cvscan", "":
+		return CVSCAN, nil
+	case "fifo":
+		return FIFO, nil
+	case "sstf":
+		return SSTF, nil
+	case "cscan":
+		return CSCAN, nil
+	default:
+		return 0, fmt.Errorf("disk: unknown scheduling policy %q (want fifo, sstf, cscan or cvscan)", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case CVSCAN:
+		return "cvscan"
+	case FIFO:
+		return "fifo"
+	case SSTF:
+		return "sstf"
+	case CSCAN:
+		return "cscan"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// schedQueue is the pending-request queue of one drive. Priority classes
+// strictly dominate: only requests of the highest class present compete,
+// and the policy chooses among them. With a positive ageMS, a request of a
+// lower class that has waited at least ageMS is promoted into the top
+// class present — the starvation-avoidance bound that keeps demoted
+// reconstruction and scrub traffic from waiting forever behind user I/O.
+// Ties always break by arrival order (seq), so every policy is
+// deterministic.
+type schedQueue struct {
+	policy  Policy
+	bias    float64 // CVSCAN reversal penalty, as a fraction of the stroke
+	cyls    int
+	ageMS   float64 // 0 = never promote
+	pending []*Request
+	// dir is CVSCAN's current sweep direction: +1 toward higher cylinders,
+	// -1 toward lower, 0 before any movement.
+	dir int
+}
+
+func newSchedQueue(p Policy, bias float64, cylinders int, ageMS float64) *schedQueue {
+	return &schedQueue{policy: p, bias: bias, cyls: cylinders, ageMS: ageMS}
+}
+
+func (s *schedQueue) len() int { return len(s.pending) }
+
+func (s *schedQueue) push(r *Request) {
+	s.pending = append(s.pending, r)
+}
+
+// eligible reports whether r competes for service now: it belongs to the
+// top raw priority class, or it has aged past the promotion bound.
+func (s *schedQueue) eligible(r *Request, maxPrio int, now float64) bool {
+	if r.Priority == maxPrio {
+		return true
+	}
+	return s.ageMS > 0 && now-r.queuedAt >= s.ageMS
+}
+
+// pop removes and returns the next request to serve for a head at cylinder
+// headCyl at simulated time now, or nil if none are pending.
+func (s *schedQueue) pop(now float64, headCyl int) *Request {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	maxPrio := s.pending[0].Priority
+	for _, r := range s.pending[1:] {
+		if r.Priority > maxPrio {
+			maxPrio = r.Priority
+		}
+	}
+	var best int
+	switch s.policy {
+	case FIFO:
+		best = s.pickFIFO(maxPrio, now)
+	case SSTF:
+		best = s.pickSSTF(maxPrio, now, headCyl)
+	case CSCAN:
+		best = s.pickCSCAN(maxPrio, now, headCyl)
+	default:
+		best = s.pickCVSCAN(maxPrio, now, headCyl)
+	}
+	r := s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	if r.cyl > headCyl {
+		s.dir = 1
+	} else if r.cyl < headCyl {
+		s.dir = -1
+	}
+	return r
+}
+
+// pickFIFO selects the oldest eligible request.
+func (s *schedQueue) pickFIFO(maxPrio int, now float64) int {
+	best := -1
+	for i, r := range s.pending {
+		if !s.eligible(r, maxPrio, now) {
+			continue
+		}
+		if best == -1 || r.seq < s.pending[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickSSTF selects the eligible request with the shortest seek distance.
+func (s *schedQueue) pickSSTF(maxPrio int, now float64, headCyl int) int {
+	best := -1
+	bestDist := 0
+	for i, r := range s.pending {
+		if !s.eligible(r, maxPrio, now) {
+			continue
+		}
+		dist := r.cyl - headCyl
+		if dist < 0 {
+			dist = -dist
+		}
+		if best == -1 || dist < bestDist ||
+			(dist == bestDist && r.seq < s.pending[best].seq) {
+			best = i
+			bestDist = dist
+		}
+	}
+	return best
+}
+
+// pickCSCAN selects the eligible request with the lowest cylinder at or
+// ahead of the head (the upward sweep), wrapping to the lowest pending
+// cylinder when nothing remains ahead.
+func (s *schedQueue) pickCSCAN(maxPrio int, now float64, headCyl int) int {
+	best, wrap := -1, -1
+	for i, r := range s.pending {
+		if !s.eligible(r, maxPrio, now) {
+			continue
+		}
+		if r.cyl >= headCyl {
+			if best == -1 || r.cyl < s.pending[best].cyl ||
+				(r.cyl == s.pending[best].cyl && r.seq < s.pending[best].seq) {
+				best = i
+			}
+		} else {
+			if wrap == -1 || r.cyl < s.pending[wrap].cyl ||
+				(r.cyl == s.pending[wrap].cyl && r.seq < s.pending[wrap].seq) {
+				wrap = i
+			}
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return wrap
+}

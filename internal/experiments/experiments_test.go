@@ -388,3 +388,70 @@ func TestDoubleFailureLossMatchesAlpha(t *testing.T) {
 		}
 	}
 }
+
+func TestExtSchedSeekOptimizersBeatFIFO(t *testing.T) {
+	o := fastOpts()
+	pts, tab, err := ExtSched(o, []int{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(SchedPolicies) || len(tab.Rows) != len(pts) {
+		t.Fatalf("want %d points, got %d (rows %d)", len(SchedPolicies), len(pts), len(tab.Rows))
+	}
+	byPolicy := map[string]SchedPoint{}
+	for _, p := range pts {
+		byPolicy[p.Policy.String()] = p
+		if p.DegradedMS <= 0 || p.ReconMin <= 0 || p.ReconRespMS <= 0 {
+			t.Errorf("%v: missing metrics %+v", p.Policy, p)
+		}
+	}
+	fifo := byPolicy["fifo"]
+	if fifo.DeltaPct != 0 {
+		t.Errorf("FIFO delta %.1f%%, want 0 (it is the baseline)", fifo.DeltaPct)
+	}
+	// The motivating effect at the paper's heavy rate: seek-optimizing
+	// schedulers measurably cut degraded-mode response versus FIFO on the
+	// deeply queued RAID 5 configuration.
+	for _, name := range []string{"sstf", "cscan", "cvscan"} {
+		p := byPolicy[name]
+		if p.DegradedMS >= fifo.DegradedMS {
+			t.Errorf("%s degraded %.1f ms !< fifo %.1f ms", name, p.DegradedMS, fifo.DegradedMS)
+		}
+		if p.DeltaPct >= 0 {
+			t.Errorf("%s delta %+.1f%%, want negative", name, p.DeltaPct)
+		}
+	}
+}
+
+func TestExtReadaheadSequentialStreamsHit(t *testing.T) {
+	o := fastOpts()
+	pts, tab, err := ExtReadahead(o, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 || len(tab.Rows) != 9 {
+		t.Fatalf("want 9 points, got %d", len(pts))
+	}
+	find := func(seq float64, tracks int) ReadaheadPoint {
+		for _, p := range pts {
+			if p.SeqFraction == seq && p.Tracks == tracks {
+				return p
+			}
+		}
+		t.Fatalf("missing point seq=%v tracks=%d", seq, tracks)
+		return ReadaheadPoint{}
+	}
+	for _, seq := range []float64{0, 0.5, 0.9} {
+		if p := find(seq, 0); p.CacheHits != 0 {
+			t.Errorf("seq=%v tracks=0: %d cache hits with the buffer off", seq, p.CacheHits)
+		}
+	}
+	off, on := find(0.9, 0), find(0.9, 4)
+	if on.CacheHits == 0 {
+		t.Error("sequential stream with 4-track read-ahead produced no hits")
+	}
+	if on.ResponseMS >= off.ResponseMS {
+		t.Errorf("read-ahead response %.1f ms !< no-buffer %.1f ms on a 90%% sequential stream",
+			on.ResponseMS, off.ResponseMS)
+	}
+}

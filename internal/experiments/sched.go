@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"declust/internal/core"
+	"declust/internal/disk"
+)
+
+// Scheduling and caching extension experiments: the disk-level knobs the
+// paper holds fixed (CVSCAN everywhere, no drive cache) swept across the
+// same figures its evaluation uses, re-measuring the Figure 8-1/8-2
+// trade-off under each queue discipline.
+
+// SchedPolicies is the sweep order of the scheduler study; FIFO leads so
+// every other policy's delta is computed against it.
+var SchedPolicies = []disk.Policy{disk.FIFO, disk.CVSCAN, disk.SSTF, disk.CSCAN}
+
+// SchedPoint is one (policy, α) sample of the scheduler study.
+type SchedPoint struct {
+	Policy disk.Policy
+	G      int
+	Alpha  float64
+	// DegradedMS is the mean degraded-mode response time (the §7
+	// workload: one failed disk, no replacement).
+	DegradedMS float64
+	// DeltaPct is DegradedMS relative to FIFO at the same G, in percent
+	// (negative = faster than FIFO).
+	DeltaPct float64
+	// ReconMin and ReconRespMS re-measure Figures 8-1/8-2: single-thread
+	// baseline reconstruction time and user response during it.
+	ReconMin    float64
+	ReconRespMS float64
+}
+
+// ExtSched sweeps the disk queue scheduler against the declustering ratio
+// at the paper's heavy rate (210 accesses/s, 50% reads): degraded-mode
+// response with each policy's delta against FIFO, plus the Figure 8-1/8-2
+// quantities — reconstruction time and during-reconstruction response —
+// under the baseline single-thread algorithm.
+func ExtSched(o Options, gs []int) ([]SchedPoint, Table, error) {
+	o = o.withDefaults()
+	if gs == nil {
+		gs = []int{4, 10, 21} // α = 0.15, 0.45, 1.0
+	}
+	t := Table{ID: "ext-sched",
+		Title:  "Disk queue scheduler sweep (rate 210, 50% reads): degraded response and fig8-1/8-2 re-measured",
+		Header: []string{"alpha", "G", "scheduler", "degraded (ms)", "vs fifo", "recon (min)", "recovering (ms)"}}
+	type job struct {
+		g      int
+		policy disk.Policy
+	}
+	var jobs []job
+	for _, g := range gs {
+		for _, p := range SchedPolicies {
+			jobs = append(jobs, job{g, p})
+		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (SchedPoint, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, 210, 0.5)
+		cfg.SchedPolicy = j.policy
+		dg, err := core.RunDegraded(cfg)
+		if err != nil {
+			return SchedPoint{}, fmt.Errorf("ext-sched %v G=%d degraded: %w", j.policy, j.g, err)
+		}
+		rc, err := core.RunReconstruction(cfg)
+		if err != nil {
+			return SchedPoint{}, fmt.Errorf("ext-sched %v G=%d recon: %w", j.policy, j.g, err)
+		}
+		return SchedPoint{Policy: j.policy, G: j.g, Alpha: alphaOf(j.g),
+			DegradedMS: dg.MeanResponseMS,
+			ReconMin:   rc.ReconTimeMS / 60_000, ReconRespMS: rc.MeanResponseMS}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	// Each G's FIFO point leads its group; fill the deltas against it.
+	for i := range pts {
+		base := pts[i-i%len(SchedPolicies)].DegradedMS
+		if base > 0 {
+			pts[i].DeltaPct = 100 * (pts[i].DegradedMS - base) / base
+		}
+	}
+	for _, p := range pts {
+		delta := fmt.Sprintf("%+.1f%%", p.DeltaPct)
+		if p.Policy == disk.FIFO {
+			delta = "—"
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(p.Alpha), fmt.Sprint(p.G), p.Policy.String(),
+			f1(p.DegradedMS), delta, f1(p.ReconMin), f1(p.ReconRespMS),
+		})
+	}
+	return pts, t, nil
+}
+
+// ReadaheadPoint is one sample of the track read-ahead study.
+type ReadaheadPoint struct {
+	SeqFraction float64
+	Tracks      int // 0 = buffer off
+	ResponseMS  float64
+	CacheHits   int64
+	// HitsPerSec normalizes hit counts across runs of different length.
+	HitsPerSec float64
+}
+
+// ExtReadahead measures fault-free response time as the workload's
+// sequential fraction and the drives' read-ahead depth vary (G, rate 210,
+// 50% reads). Random workloads (the paper's) gain nothing — the buffer
+// never hits — while sequential streams convert rotations into zero-cost
+// completions.
+func ExtReadahead(o Options, g int) ([]ReadaheadPoint, Table, error) {
+	o = o.withDefaults()
+	t := Table{ID: "ext-readahead",
+		Title:  fmt.Sprintf("Track read-ahead sweep (G=%d, fault-free, rate 210, 50%% reads)", g),
+		Header: []string{"sequential", "tracks", "response (ms)", "cache hits", "hits/s"}}
+	type job struct {
+		seq    float64
+		tracks int
+	}
+	var jobs []job
+	for _, seq := range []float64{0, 0.5, 0.9} {
+		for _, tracks := range []int{0, 1, 4} {
+			jobs = append(jobs, job{seq, tracks})
+		}
+	}
+	pts, err := RunPoints(o.Workers, len(jobs), func(i int) (ReadaheadPoint, error) {
+		j := jobs[i]
+		cfg := o.simConfig(g, 210, 0.5)
+		cfg.SequentialFraction = j.seq
+		cfg.ReadAheadTracks = j.tracks
+		m, err := core.RunFaultFree(cfg)
+		if err != nil {
+			return ReadaheadPoint{}, fmt.Errorf("ext-readahead seq=%v tracks=%d: %w", j.seq, j.tracks, err)
+		}
+		hps := 0.0
+		if m.SimEndMS > 0 {
+			hps = float64(m.CacheHits) / (m.SimEndMS / 1000)
+		}
+		return ReadaheadPoint{SeqFraction: j.seq, Tracks: j.tracks,
+			ResponseMS: m.MeanResponseMS, CacheHits: m.CacheHits, HitsPerSec: hps}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*p.SeqFraction), fmt.Sprint(p.Tracks),
+			f1(p.ResponseMS), fmt.Sprint(p.CacheHits), f1(p.HitsPerSec),
+		})
+	}
+	return pts, t, nil
+}

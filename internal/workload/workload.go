@@ -29,6 +29,13 @@ type Config struct {
 	// classic 80/20 rule). Both zero means uniform, as in the paper.
 	HotDataFraction   float64
 	HotAccessFraction float64
+	// SequentialFraction, in [0,1), makes that fraction of accesses
+	// continue at the slot after the previous access (wrapping at the end
+	// of the data space), modelling sequential streams that exercise disk
+	// track read-ahead. 0 keeps the paper's pure random stream and draws
+	// exactly the random sequence generators drew before this field
+	// existed.
+	SequentialFraction float64
 	// Seed makes the stream reproducible.
 	Seed int64
 }
@@ -49,8 +56,9 @@ type Source interface {
 
 // Generator produces a deterministic Poisson stream of Ops.
 type Generator struct {
-	cfg Config
-	rng *rand.Rand
+	cfg      Config
+	rng      *rand.Rand
+	lastSlot int64
 }
 
 // New validates the configuration and builds a generator.
@@ -70,6 +78,9 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.AccessUnits < 0 || int64(cfg.AccessUnits) > cfg.DataUnits {
 		return nil, fmt.Errorf("workload: access size %d units out of range (data space %d)",
 			cfg.AccessUnits, cfg.DataUnits)
+	}
+	if cfg.SequentialFraction < 0 || cfg.SequentialFraction >= 1 {
+		return nil, fmt.Errorf("workload: sequential fraction %v out of [0,1)", cfg.SequentialFraction)
 	}
 	hot := cfg.HotDataFraction != 0 || cfg.HotAccessFraction != 0
 	if hot {
@@ -93,6 +104,11 @@ func (g *Generator) Next() (delayMS float64, op Op) {
 	op.Read = g.rng.Float64() < g.cfg.ReadFraction
 	op.Count = g.cfg.AccessUnits
 	slots := g.cfg.DataUnits / int64(g.cfg.AccessUnits)
+	if g.cfg.SequentialFraction > 0 && g.rng.Float64() < g.cfg.SequentialFraction {
+		g.lastSlot = (g.lastSlot + 1) % slots
+		op.Unit = g.lastSlot * int64(g.cfg.AccessUnits)
+		return delayMS, op
+	}
 	slot := g.rng.Int63n(slots)
 	if g.cfg.HotDataFraction > 0 {
 		hotSlots := int64(g.cfg.HotDataFraction * float64(slots))
@@ -102,6 +118,7 @@ func (g *Generator) Next() (delayMS float64, op Op) {
 			slot = hotSlots + g.rng.Int63n(slots-hotSlots)
 		}
 	}
+	g.lastSlot = slot
 	op.Unit = slot * int64(g.cfg.AccessUnits)
 	return delayMS, op
 }

@@ -161,3 +161,53 @@ func TestAddressesUniformAndInRange(t *testing.T) {
 		}
 	}
 }
+
+// TestSequentialFractionProducesRuns checks that roughly the configured
+// fraction of accesses continue at the slot after their predecessor, and
+// that the rest stay random.
+func TestSequentialFractionProducesRuns(t *testing.T) {
+	g, err := New(Config{RatePerSec: 100, ReadFraction: 0.5, DataUnits: 10_000,
+		SequentialFraction: 0.6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	seq := 0
+	_, prev := g.Next()
+	for i := 1; i < n; i++ {
+		_, op := g.Next()
+		if op.Unit == (prev.Unit+1)%10_000 {
+			seq++
+		}
+		prev = op
+	}
+	frac := float64(seq) / n
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Fatalf("sequential continuations %.3f of accesses, want ~0.6", frac)
+	}
+}
+
+// TestSequentialFractionZeroDrawsLegacySequence pins the determinism
+// contract: SequentialFraction 0 consumes the random stream exactly as
+// generators did before the field existed, so seeded workloads are
+// byte-identical.
+func TestSequentialFractionZeroDrawsLegacySequence(t *testing.T) {
+	a, _ := New(Config{RatePerSec: 100, ReadFraction: 0.5, DataUnits: 512, Seed: 3})
+	b, _ := New(Config{RatePerSec: 100, ReadFraction: 0.5, DataUnits: 512, Seed: 3,
+		SequentialFraction: 0})
+	for i := 0; i < 5000; i++ {
+		da, oa := a.Next()
+		db, ob := b.Next()
+		if da != db || oa != ob {
+			t.Fatalf("draw %d diverged: (%v, %+v) vs (%v, %+v)", i, da, oa, db, ob)
+		}
+	}
+}
+
+func TestSequentialFractionValidation(t *testing.T) {
+	for _, f := range []float64{-0.1, 1, 1.5} {
+		if _, err := New(Config{RatePerSec: 1, DataUnits: 100, SequentialFraction: f}); err == nil {
+			t.Errorf("sequential fraction %v accepted", f)
+		}
+	}
+}
