@@ -10,7 +10,7 @@ BENCH_PKGS ?= . ./internal/sim
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race vet fmt-check fault-smoke lint cover verify clean
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -44,6 +44,12 @@ bench-diff:
 # Race pass over the parallel sweep driver and the commands that expose -j.
 sweep-race:
 	$(GO) test -race ./internal/experiments/... ./cmd/...
+
+# Race pass over the observability stack: the live telemetry server's
+# concurrent scrape bridge, the span tracer and exporters, and the
+# tracestat / raidsim -listen command paths.
+telemetry-race:
+	$(GO) test -race ./internal/telemetry/... ./cmd/tracestat/... ./cmd/raidsim/...
 
 vet:
 	$(GO) vet ./...
@@ -81,9 +87,9 @@ cover:
 		{ echo "coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
-# test suite, the fault-injection and parallel-sweep race smokes, and a
-# benchmark smoke pass.
-verify: fmt-check vet build race fault-smoke sweep-race bench-smoke
+# test suite, the fault-injection, parallel-sweep and telemetry race
+# smokes, and a benchmark smoke pass.
+verify: fmt-check vet build race fault-smoke sweep-race telemetry-race bench-smoke
 	@echo "verify: OK"
 
 clean:

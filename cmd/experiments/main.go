@@ -12,7 +12,7 @@
 // Experiments: fig4-3, fig6-1, fig6-2, fig8 (8-1..8-4), table8-1, fig8-6,
 // ext-throttle, ext-priority, ext-mttdl, ext-datamap, ext-mirror,
 // ext-sparing, ext-unitsize, ext-skew, ext-sched, ext-readahead,
-// double-failure.
+// ext-phases, double-failure.
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 	scale := flag.Int("scale", 1, "disk capacity divisor (1 = full IBM 0661)")
 	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 	seed := flag.Int64("seed", 1, "workload seed")
+	spansDir := flag.String("spans-dir", "",
+		"with ext-phases, write each point's raw spans (JSONL) into this directory")
 	workers := flag.Int("j", 1,
 		"parallel sweep workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
@@ -137,6 +139,11 @@ func main() {
 	}
 	if selected("ext-readahead") {
 		_, t, err := experiments.ExtReadahead(o, 5)
+		check(err)
+		emit(t)
+	}
+	if selected("ext-phases") {
+		_, t, err := experiments.ExtPhases(o, nil, *spansDir)
 		check(err)
 		emit(t)
 	}

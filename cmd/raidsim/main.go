@@ -21,7 +21,12 @@
 // Observability:
 //
 //	raidsim -mode recon -metrics out.txt -series out.csv -events ev.jsonl -progress
+//	raidsim -mode recon -spans run.spans.jsonl -chrome-trace run.trace.json
+//	raidsim -mode recon -listen :6060     # live /metrics, /progress, /debug/pprof
 //	raidsim -mode recon -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -spans output feeds cmd/tracestat; -chrome-trace output loads in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -90,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seriesOut := fs.String("series", "", "write per-disk time-series CSV to this file")
 	eventsOut := fs.String("events", "", "write a JSONL event trace (accesses, disk requests, recon cycles, faults) to this file")
 	sampleMS := fs.Float64("sample", 1000, "time-series cadence in simulated ms (with -series)")
+	spansOut := fs.String("spans", "", "write request-lifecycle spans (JSONL, for tracestat) to this file")
+	chromeOut := fs.String("chrome-trace", "", "write a Chrome trace-event JSON (Perfetto-viewable) to this file")
+	listen := fs.String("listen", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :6060)")
 	progress := fs.Bool("progress", false, "print reconstruction progress lines to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
@@ -153,10 +161,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// invocations produce byte-identical output to earlier builds.
 	schedOn := policy != declust.SchedCVSCAN || *readahead > 0 || *prioAge > 0 || *seqFrac > 0
 
+	// -listen works in every mode; the server outlives the run so a final
+	// scrape still sees the completed state.
+	var live *declust.LiveServer
+	if *listen != "" {
+		live = declust.NewLiveServer()
+		addr, err := live.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer live.Close()
+		fmt.Fprintf(stderr, "telemetry: serving /metrics, /progress, /debug/pprof on http://%s\n", addr)
+	}
+
 	if *sweepG != "" || *sweepRate != "" {
 		if *traceOut != "" || *replayIn != "" || *metricsOut != "" || *seriesOut != "" ||
-			*eventsOut != "" || *cpuprofile != "" || *memprofile != "" || *progress {
-			return fmt.Errorf("sweep mode does not combine with per-run outputs (-trace, -replay, -metrics, -series, -events, -progress, profiles)")
+			*eventsOut != "" || *spansOut != "" || *chromeOut != "" ||
+			*cpuprofile != "" || *memprofile != "" || *progress {
+			return fmt.Errorf("sweep mode does not combine with per-run outputs (-trace, -replay, -metrics, -series, -events, -spans, -chrome-trace, -progress, profiles)")
 		}
 		gs, err := parseIntList(*sweepG, *g)
 		if err != nil {
@@ -174,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "sched:  %s, read-ahead %d track(s), prio-age %.0f ms, sequential %.0f%%\n",
 				policy, *readahead, *prioAge, *seqFrac*100)
 		}
-		return runSweep(stdout, cfg, *mode, gs, rates, w)
+		return runSweep(stdout, cfg, *mode, gs, rates, w, live)
 	}
 
 	if *cpuprofile != "" {
@@ -190,11 +212,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var reg *declust.MetricsRegistry
-	if *metricsOut != "" || *seriesOut != "" {
+	if *metricsOut != "" || *seriesOut != "" || live != nil {
 		reg = declust.NewMetricsRegistry()
 		cfg.Metrics = reg
 		if *seriesOut != "" {
 			cfg.SampleEveryMS = *sampleMS
+		}
+	}
+	var spans *declust.SpanTracer
+	if *spansOut != "" || *chromeOut != "" {
+		spans = declust.NewSpanTracer()
+		cfg.Spans = spans
+	}
+	if live != nil {
+		// The simulation thread publishes snapshots; HTTP handlers only ever
+		// read copies, so the run stays single-threaded and deterministic.
+		liveMode := *mode
+		cfg.OnLive = func(st declust.LiveStatus) {
+			live.PublishMetrics(reg)
+			live.PublishProgress(declust.LiveProgress{
+				SimMS:          st.SimMS,
+				Mode:           liveMode,
+				Requests:       st.Requests,
+				MeanResponseMS: st.MeanResponseMS,
+				DiskUtil:       st.DiskUtil,
+				DiskQueue:      st.DiskQueue,
+				ReconDone:      st.ReconDone,
+				ReconTotal:     st.ReconTotal,
+				ReconETAMS:     st.ReconETAMS,
+			})
 		}
 	}
 	if *eventsOut != "" {
@@ -321,6 +367,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *eventsOut != "" {
 		fmt.Fprintf(stdout, "events:         written to %s\n", *eventsOut)
 	}
+	if *spansOut != "" {
+		meta := &declust.SpanMeta{C: *c, G: *g, Alpha: m.Alpha(), Mode: *mode, Seed: *seed}
+		if err := writeFile(*spansOut, func(w io.Writer) error {
+			return spans.WriteJSONL(w, meta)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "spans:          %d spans written to %s\n", spans.Len(), *spansOut)
+	}
+	if *chromeOut != "" {
+		if err := writeFile(*chromeOut, spans.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chrome trace:   written to %s (load in Perfetto or chrome://tracing)\n", *chromeOut)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -358,7 +419,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 // from the shared base config, so fanning the points over workers changes
 // wall-clock time only: every row is formatted by the point that produced it
 // and printed in index order, making the output byte-identical for any -j.
-func runSweep(stdout io.Writer, base declust.SimConfig, mode string, gs []int, rates []float64, workers int) error {
+// A non-nil live server tracks sweep completion at /progress.
+func runSweep(stdout io.Writer, base declust.SimConfig, mode string, gs []int, rates []float64, workers int, live *declust.LiveServer) error {
 	type point struct {
 		g    int
 		rate float64
@@ -368,6 +430,9 @@ func runSweep(stdout io.Writer, base declust.SimConfig, mode string, gs []int, r
 		for _, r := range rates {
 			pts = append(pts, point{g, r})
 		}
+	}
+	if live != nil {
+		live.SweepStart(len(pts))
 	}
 	fmt.Fprintf(stdout, "sweep:  %d point(s), mode %s, seed %d\n", len(pts), mode, base.Seed)
 	if mode == "recon" {
@@ -393,6 +458,9 @@ func runSweep(stdout io.Writer, base declust.SimConfig, mode string, gs []int, r
 		}
 		if err != nil {
 			return "", fmt.Errorf("sweep g=%d rate=%g: %w", pts[i].g, pts[i].rate, err)
+		}
+		if live != nil {
+			live.SweepPointDone()
 		}
 		if mode == "recon" {
 			return fmt.Sprintf("%5d %8.0f %9.1f %9.1f %11.1f %11d",

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"declust/internal/telemetry"
+)
+
+// TestSpanExportDeterminism runs -spans and -chrome-trace twice: files are
+// byte-identical, the JSONL parses with the right meta, and the Chrome
+// trace is a well-formed JSON array.
+func TestSpanExportDeterminism(t *testing.T) {
+	base := t.TempDir()
+	invoke := func(tag string) ([]byte, []byte, string) {
+		// Per-run directory with identical file names, so stdout (which
+		// echoes the paths) is comparable across runs modulo the directory.
+		dir := filepath.Join(base, tag)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		spans := filepath.Join(dir, "run.spans.jsonl")
+		chrome := filepath.Join(dir, "run.trace.json")
+		args := []string{
+			"-mode", "recon", "-c", "21", "-g", "5", "-scale", "50",
+			"-rate", "105", "-reads", "0.5", "-procs", "4",
+			"-warmup", "2", "-measure", "10",
+			"-spans", spans, "-chrome-trace", chrome,
+		}
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run %s: %v\nstderr: %s", tag, err, errb.String())
+		}
+		sb, err := os.ReadFile(spans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := os.ReadFile(chrome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb, cb, strings.ReplaceAll(out.String(), dir, "DIR")
+	}
+
+	spansA, chromeA, outA := invoke("a")
+	spansB, chromeB, outB := invoke("b")
+	if !bytes.Equal(spansA, spansB) {
+		t.Error("span exports differ between identical runs")
+	}
+	if !bytes.Equal(chromeA, chromeB) {
+		t.Error("chrome traces differ between identical runs")
+	}
+	if stripWallClock(outA) != stripWallClock(outB) {
+		t.Error("stdout differs between identical runs")
+	}
+	if !strings.Contains(outA, "spans:") || !strings.Contains(outA, "chrome trace:") {
+		t.Errorf("stdout missing export confirmations:\n%s", outA)
+	}
+
+	meta, spans, err := telemetry.ReadJSONL(bytes.NewReader(spansA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.C != 21 || meta.G != 5 || meta.Mode != "recon" || meta.Seed != 1 {
+		t.Errorf("span meta = %+v", meta)
+	}
+	if len(spans) == 0 {
+		t.Fatal("span export empty")
+	}
+	a := telemetry.Attribute(spans)
+	if a.Requests == 0 || a.MeanResponseMS <= 0 {
+		t.Errorf("exported spans yield degenerate attribution: %+v", a)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(chromeA, &events); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v", err)
+	}
+	if len(events) < len(spans) {
+		t.Errorf("%d chrome events for %d spans", len(events), len(spans))
+	}
+}
+
+func TestSweepRejectsSpanOutputs(t *testing.T) {
+	for _, flag := range []string{"-spans", "-chrome-trace"} {
+		var out, errb bytes.Buffer
+		err := run([]string{"-sweep-g", "3,5", flag, "x.out"}, &out, &errb)
+		if err == nil || !strings.Contains(err.Error(), "sweep mode") {
+			t.Errorf("%s in sweep mode: got %v, want sweep-mode rejection", flag, err)
+		}
+	}
+}
+
+// lockedWriter is a threadsafe io.Writer: the live-server tests read
+// stderr while run() is still writing it from another goroutine.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// serveAddr polls the stderr capture until the live server announces its
+// bound address.
+func serveAddr(t *testing.T, errb *lockedWriter, done <-chan error) string {
+	t.Helper()
+	for {
+		s := errb.String()
+		if i := strings.Index(s, "on http://"); i >= 0 {
+			rest := s[i+len("on http://"):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				return rest[:j]
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run finished before announcing the server: %v\nstderr: %s", err, errb.String())
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestListenServesLiveRun starts a run with -listen on an ephemeral port
+// and scrapes /metrics and /progress while it executes.
+func TestListenServesLiveRun(t *testing.T) {
+	var out bytes.Buffer
+	errb := &lockedWriter{}
+	done := make(chan error, 1)
+	go func() {
+		// Scale 4 keeps the wall-clock run long enough (hundreds of ms) for
+		// the scraper to land several requests while the sim executes.
+		done <- run([]string{
+			"-mode", "recon", "-c", "21", "-g", "5", "-scale", "4",
+			"-rate", "105", "-reads", "0.5", "-procs", "1",
+			"-warmup", "2",
+			"-listen", "127.0.0.1:0",
+		}, &out, errb)
+	}()
+	addr := serveAddr(t, errb, done)
+
+	var gotMetrics, gotProgress bool
+	running := true
+	for running && !(gotMetrics && gotProgress) {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+			}
+			running = false
+		default:
+		}
+		for _, path := range []string{"/metrics", "/progress"} {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				continue // server may have shut down between checks
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			switch path {
+			case "/metrics":
+				// Valid Prometheus text with simulator content, once the
+				// first sim-time tick has published.
+				if strings.Contains(string(body), "# TYPE") &&
+					strings.Contains(string(body), "user_response_ms") {
+					gotMetrics = true
+				}
+			case "/progress":
+				var p telemetry.Progress
+				if json.Unmarshal(body, &p) == nil && p.SimMS > 0 && p.Mode == "recon" {
+					gotProgress = true
+				}
+			}
+		}
+	}
+	if !gotMetrics {
+		t.Error("never scraped a populated /metrics snapshot")
+	}
+	if !gotProgress {
+		t.Error("never scraped a populated /progress snapshot")
+	}
+	if running {
+		if err := <-done; err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+}
+
+// TestListenTracksSweepProgress: -listen is the one observability flag
+// sweep mode keeps, publishing point-completion counts.
+func TestListenTracksSweepProgress(t *testing.T) {
+	var out bytes.Buffer
+	errb := &lockedWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-mode", "recon", "-c", "21", "-scale", "10",
+			"-sweep-g", "3,5,11,21", "-rate", "105", "-procs", "1",
+			"-warmup", "2", "-j", "2",
+			"-listen", "127.0.0.1:0",
+		}, &out, errb)
+	}()
+	addr := serveAddr(t, errb, done)
+
+	sawTotal := false
+	running := true
+	for running && !sawTotal {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+			}
+			running = false
+		default:
+		}
+		resp, err := http.Get("http://" + addr + "/progress")
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		var p telemetry.Progress
+		if json.Unmarshal(body, &p) == nil && p.SweepTotal == 4 && p.SweepDone <= 4 {
+			sawTotal = true
+		}
+	}
+	if !sawTotal {
+		t.Error("never scraped sweep progress with total 4")
+	}
+	if running {
+		if err := <-done; err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	if n := strings.Count(out.String(), "\n"); n < 6 {
+		t.Errorf("sweep output truncated:\n%s", out.String())
+	}
+}

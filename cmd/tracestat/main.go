@@ -1,0 +1,172 @@
+// Command tracestat summarizes span logs written by raidsim -spans or
+// experiments -run ext-phases -spans-dir: for each input file it prints a
+// per-phase latency-attribution row decomposing mean user response time
+// into drive queue wait, reconstruction interference, mechanical service
+// (seek/rotate/transfer), stripe lock wait and on-the-fly reconstruction.
+//
+// Usage:
+//
+//	tracestat runA.spans.jsonl [runB.spans.jsonl ...]
+//	tracestat -phases run.spans.jsonl   # add per-span-name totals
+//
+// Rows are sorted by (α, mode, file name), so the same inputs always print
+// the same table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"declust/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileStat is one input file's summary.
+type fileStat struct {
+	name string
+	meta *telemetry.Meta
+	attr telemetry.Attribution
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	phases := fs.Bool("phases", false, "also print per-span-name totals for each file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "tracestat: no input files (expected span JSONL, see raidsim -spans)")
+		return 2
+	}
+	var stats []fileStat
+	for _, name := range fs.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracestat:", err)
+			return 1
+		}
+		meta, spans, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "tracestat: %s: %v\n", name, err)
+			return 1
+		}
+		stats = append(stats, fileStat{name: name, meta: meta, attr: telemetry.Attribute(spans)})
+	}
+	// Deterministic order whatever the argument order: by α, then mode
+	// (fault-free before degraded before rebuild), then file name.
+	modeRank := map[string]int{"faultfree": 0, "degraded": 1, "rebuild": 2}
+	sort.SliceStable(stats, func(i, j int) bool {
+		a, b := stats[i], stats[j]
+		if aa, ba := alphaOf(a), alphaOf(b); aa != ba {
+			return aa < ba
+		}
+		if am, bm := modeRankOf(a, modeRank), modeRankOf(b, modeRank); am != bm {
+			return am < bm
+		}
+		return a.name < b.name
+	})
+
+	printTable(stdout, stats)
+	if *phases {
+		for _, st := range stats {
+			fmt.Fprintf(stdout, "\n%s: per-phase totals\n", st.name)
+			printPhases(stdout, st.attr.PhaseTotals)
+		}
+	}
+	return 0
+}
+
+func alphaOf(st fileStat) float64 {
+	if st.meta == nil {
+		return -1 // metaless files lead
+	}
+	return st.meta.Alpha
+}
+
+func modeRankOf(st fileStat, rank map[string]int) int {
+	if st.meta == nil {
+		return -1
+	}
+	if r, ok := rank[st.meta.Mode]; ok {
+		return r
+	}
+	return len(rank)
+}
+
+func printTable(w io.Writer, stats []fileStat) {
+	header := []string{"alpha", "mode", "requests", "response", "queue",
+		"interfere", "service", "seek", "rotate", "xfer", "lockwait", "otf"}
+	rows := [][]string{}
+	for _, st := range stats {
+		alpha, mode := "—", "—"
+		if st.meta != nil {
+			alpha = fmt.Sprintf("%.2f", st.meta.Alpha)
+			mode = st.meta.Mode
+		}
+		a := st.attr
+		f := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+		rows = append(rows, []string{
+			alpha, mode, fmt.Sprint(a.Requests),
+			f(a.MeanResponseMS), f(a.QueueMS), f(a.InterferenceMS),
+			f(a.ServiceMS), f(a.SeekMS), f(a.RotateMS), f(a.TransferMS),
+			f(a.LockWaitMS), f(a.OTFMS),
+		})
+	}
+	writeAligned(w, header, rows)
+}
+
+func printPhases(w io.Writer, totals []telemetry.PhaseTotal) {
+	header := []string{"kind", "phase", "count", "total (ms)"}
+	rows := [][]string{}
+	for _, pt := range totals {
+		rows = append(rows, []string{
+			pt.Kind, pt.Name, fmt.Sprint(pt.Count), fmt.Sprintf("%.1f", pt.TotalMS),
+		})
+	}
+	writeAligned(w, header, rows)
+}
+
+// writeAligned prints a column-aligned table with a dashed rule, matching
+// the experiments package's format.
+func writeAligned(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for i, width := range widths {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprint(w, strings.Repeat("-", width))
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		line(row)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/sim"
+	"declust/internal/telemetry"
 	"declust/internal/trace"
 	"io"
 )
@@ -180,6 +181,43 @@ func NewJSONLTracer(w io.Writer) *metrics.JSONL { return metrics.NewJSONL(w) }
 // Progress is a reconstruction progress report delivered to
 // SimConfig.OnProgress (done units, total, ETA in simulated ms).
 type Progress = core.Progress
+
+// SpanTracer records request-lifecycle spans: one root span per user
+// access with phase children (lock wait, pre-reads, commits, on-the-fly
+// reconstruction) and per-disk service segments. Assign one to
+// SimConfig.Spans; export with WriteJSONL (compact, for tracestat) or
+// WriteChromeTrace (load in Perfetto / chrome://tracing), or feed the
+// spans to AttributeSpans for a latency decomposition.
+type SpanTracer = telemetry.Tracer
+
+// NewSpanTracer returns an enabled span tracer.
+func NewSpanTracer() *SpanTracer { return telemetry.New() }
+
+// Span is one traced interval.
+type Span = telemetry.Span
+
+// SpanMeta labels a span export with its run's configuration.
+type SpanMeta = telemetry.Meta
+
+// SpanAttribution decomposes measured user response time by cause.
+type SpanAttribution = telemetry.Attribution
+
+// AttributeSpans computes the causal latency decomposition of a run's
+// spans (see SpanAttribution).
+func AttributeSpans(spans []Span) SpanAttribution { return telemetry.Attribute(spans) }
+
+// LiveStatus is the periodic run snapshot delivered to SimConfig.OnLive.
+type LiveStatus = core.LiveStatus
+
+// LiveServer is the opt-in HTTP telemetry endpoint (/metrics, /progress,
+// /debug/pprof) fed by snapshots from the simulation thread.
+type LiveServer = telemetry.LiveServer
+
+// NewLiveServer returns a live telemetry server; Start brings it up.
+func NewLiveServer() *LiveServer { return telemetry.NewLiveServer() }
+
+// LiveProgress is the JSON document a LiveServer serves at /progress.
+type LiveProgress = telemetry.Progress
 
 // DataLoc resolves a logical data unit to its disk and unit offset under
 // the paper's "by parity stripe index" data mapping.

@@ -24,6 +24,7 @@ import (
 	"declust/internal/metrics"
 	"declust/internal/sim"
 	"declust/internal/stats"
+	"declust/internal/telemetry"
 )
 
 // ReconAlgorithm selects how much non-reconstruction work is sent to the
@@ -113,6 +114,11 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, receives reconstruction lifecycle events.
 	Tracer metrics.Tracer
+	// Spans, when non-nil, records request-lifecycle spans: array phases
+	// (lock wait, pre-reads, commits, on-the-fly reconstruction) and
+	// reconstruction cycles, with per-disk segments beneath them. Nil —
+	// the default — costs the I/O paths only nil checks.
+	Spans *telemetry.Tracer
 }
 
 // Array is a simulated redundant disk array under a striping driver.
@@ -179,8 +185,18 @@ type Array struct {
 
 	// Instrumentation. The counters are nil (no-op) without a registry;
 	// tracer calls are guarded by nil checks.
-	tracer      metrics.Tracer
-	diskObs     func(slot int, e disk.Event)
+	tracer  metrics.Tracer
+	diskObs []func(slot int, e disk.Event)
+
+	// Span tracing (nil-safe no-ops when Config.Spans is nil). opSpan is
+	// the parent span handed over by the caller for the next synchronous
+	// Read/Write/ReadRange/WriteRange; phaseSpan is the phase the next io
+	// call's transfers belong to. Both are consumed (cleared) by the
+	// callee, so stale spans cannot leak across operations.
+	spans     *telemetry.Tracer
+	opSpan    *telemetry.Span
+	phaseSpan *telemetry.Span
+
 	mUserReads  *metrics.Counter
 	mUserWrites *metrics.Counter
 	mOTFRecons  *metrics.Counter
@@ -233,6 +249,7 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 		failed:       -1,
 		spareLay:     spareLay,
 		tracer:       cfg.Tracer,
+		spans:        cfg.Spans,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		a.mUserReads = reg.Counter("array_user_reads")
@@ -253,6 +270,7 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 	a.contents = make([][]uint64, c)
 	for i := range a.disks {
 		a.disks[i] = disk.NewWithConfig(eng, cfg.Geom, a.diskConfig())
+		a.disks[i].SetSlot(i)
 		if cfg.Faults != nil {
 			a.disks[i].SetFaultHook(cfg.Faults.Hook(i), cfg.Faults.TimeoutMS())
 		}
@@ -347,19 +365,41 @@ func (a *Array) Layout() layout.Layout { return a.lay }
 // was failed and replaced).
 func (a *Array) Disk(i int) *disk.Disk { return a.disks[i] }
 
-// ObserveDisks registers fn as the request-completion observer of every
-// drive, tagged with its slot index. The registration survives disk
-// replacement: a drive installed by Replace inherits it. Pass nil to stop
-// observing.
+// ObserveDisks replaces the observer chain of every drive with fn, tagged
+// with its slot index. The registration survives disk replacement: a
+// drive installed by Replace inherits it. Pass nil to stop observing.
 func (a *Array) ObserveDisks(fn func(slot int, e disk.Event)) {
-	a.diskObs = fn
-	for i, d := range a.disks {
-		if fn == nil {
-			d.SetObserver(nil)
-			continue
-		}
-		slot := i
-		d.SetObserver(func(e disk.Event) { fn(slot, e) })
+	a.diskObs = a.diskObs[:0]
+	if fn != nil {
+		a.diskObs = append(a.diskObs, fn)
+	}
+	for i := range a.disks {
+		a.applyDiskObservers(i)
+	}
+}
+
+// AddDiskObserver appends fn to every drive's observer chain, keeping
+// existing observers: the span tracer and a metrics collector can watch
+// the drives side by side. Observers fire in registration order; the
+// registration survives disk replacement. A nil fn is ignored.
+func (a *Array) AddDiskObserver(fn func(slot int, e disk.Event)) {
+	if fn == nil {
+		return
+	}
+	a.diskObs = append(a.diskObs, fn)
+	for i := range a.disks {
+		a.applyDiskObservers(i)
+	}
+}
+
+// applyDiskObservers rebuilds one drive's observer chain from the array's
+// registration list, preserving order.
+func (a *Array) applyDiskObservers(slot int) {
+	d := a.disks[slot]
+	d.SetObserver(nil)
+	for _, fn := range a.diskObs {
+		fn := fn
+		d.AddObserver(func(e disk.Event) { fn(slot, e) })
 	}
 }
 
@@ -423,9 +463,8 @@ func (a *Array) Replace() error {
 // sector errors the old platters carried.
 func (a *Array) installDisk(slot int) {
 	a.disks[slot] = disk.NewWithConfig(a.eng, a.cfg.Geom, a.diskConfig())
-	if a.diskObs != nil {
-		a.disks[slot].SetObserver(func(e disk.Event) { a.diskObs(slot, e) })
-	}
+	a.disks[slot].SetSlot(slot)
+	a.applyDiskObservers(slot)
 	if a.cfg.Faults != nil {
 		a.disks[slot].SetFaultHook(a.cfg.Faults.Hook(slot), a.cfg.Faults.TimeoutMS())
 		a.cfg.Faults.ResetDisk(slot)

@@ -5,7 +5,22 @@ import (
 
 	"declust/internal/disk"
 	"declust/internal/layout"
+	"declust/internal/telemetry"
 )
+
+// SetOpSpan hands the array the parent span for the next synchronous
+// Read/Write/ReadRange/WriteRange call, which consumes it. The array opens
+// lifecycle-phase children under it (lock wait, pre-reads, commits,
+// on-the-fly reconstruction) and tags every disk transfer so the drives
+// attach queue/seek/rotate/transfer segments. All of it is nil-safe: with
+// no tracer the handoff is a nil store and the hot paths pay nil checks.
+func (a *Array) SetOpSpan(sp *telemetry.Span) { a.opSpan = sp }
+
+func (a *Array) takeOpSpan() *telemetry.Span {
+	sp := a.opSpan
+	a.opSpan = nil
+	return sp
+}
 
 // xfer is one unit-sized disk transfer.
 type xfer struct {
@@ -134,6 +149,11 @@ func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 	if len(xs) == 0 {
 		panic("array: empty io phase")
 	}
+	// Consume the span set for this phase (nil when tracing is off or the
+	// phase is internal): every transfer of the phase carries it, so the
+	// drives know where to attach their service segments.
+	sp := a.phaseSpan
+	a.phaseSpan = nil
 	ph := a.getPhase()
 	ph.n = len(xs)
 	ph.done = done
@@ -154,7 +174,7 @@ func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 		}
 		// Under distributed sparing, units of the failed disk live (or
 		// will live) in their stripes' spare slots on survivors.
-		a.submitIO(x, a.phys(x.loc), prio, ph)
+		a.submitIO(x, a.phys(x.loc), prio, ph, sp)
 	}
 }
 
@@ -162,7 +182,7 @@ func (a *Array) io(xs []xfer, prio int, done func(fails []xfer)) {
 // resolved once: a retry lands on the same drive slot the operation chose,
 // even if the array's failure state moved underneath it (the enclosing
 // phase's drop/panic rules already ran).
-func (a *Array) submitIO(x xfer, target layout.Loc, prio int, ph *ioPhase) {
+func (a *Array) submitIO(x xfer, target layout.Loc, prio int, ph *ioPhase, sp *telemetry.Span) {
 	r := a.getReq()
 	r.ph = ph
 	r.x = x
@@ -172,6 +192,7 @@ func (a *Array) submitIO(x xfer, target layout.Loc, prio int, ph *ioPhase) {
 	r.req.Count = a.cfg.UnitSectors
 	r.req.Write = x.write
 	r.req.Priority = prio
+	r.req.Span = sp // always stored: pooled nodes must not leak stale spans
 	a.disks[target.Disk].Submit(&r.req)
 }
 
@@ -245,7 +266,9 @@ type userOp struct {
 	newParity uint64
 	readDone  func(value uint64)
 	writeDone func()
-	xs        [2]xfer // phase transfer buffer; consumed synchronously by io
+	span      *telemetry.Span // root span handed over by the caller; nil when off
+	phase     *telemetry.Span // open lifecycle-phase child, ended by the stage that retires it
+	xs        [2]xfer         // phase transfer buffer; consumed synchronously by io
 
 	// Stage continuations, bound once per node.
 	readPlainFn   func([]xfer)
@@ -285,6 +308,8 @@ func (a *Array) getOp() *userOp {
 func (a *Array) putOp(op *userOp) {
 	op.readDone = nil
 	op.writeDone = nil
+	op.span = nil
+	op.phase = nil
 	a.opFree = append(a.opFree, op)
 }
 
@@ -297,22 +322,28 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 		panic(fmt.Sprintf("array: data unit %d out of range [0,%d)", unit, a.dataUnits))
 	}
 	a.mUserReads.Inc()
+	sp := a.takeOpSpan()
 	loc := a.mapper.Loc(unit)
 	if loc.Disk != a.failed || a.redirectableRead(loc) {
 		op := a.getOp()
 		op.loc = loc
 		op.readDone = done
+		op.span = sp
 		op.xs[0] = xfer{loc: loc}
+		a.phaseSpan = sp // segments attach to the root: one phase only
 		a.io(op.xs[:1], userPriority, op.readPlainFn)
 		return
 	}
 	// On-the-fly reconstruction under the stripe lock: a consistent
 	// multi-unit read that must not interleave with parity updates.
 	stripe, _ := a.lay.Locate(loc)
+	lockSp := sp.Child(telemetry.PhaseLockWait, a.eng.Now())
 	a.locks.acquire(stripe, func() {
+		lockSp.End(a.eng.Now())
 		// Re-evaluate: reconstruction or healing may have happened
 		// while waiting for the lock.
 		if loc.Disk != a.failed || a.redirectableRead(loc) {
+			a.phaseSpan = sp
 			a.io([]xfer{{loc: loc}}, userPriority, func(fails []xfer) {
 				a.repairThen(stripe, fails, userPriority, func() {
 					a.locks.release(stripe)
@@ -323,6 +354,8 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 		}
 		surv := layout.SurvivingUnits(a.lay, loc)
 		a.mOTFRecons.Inc()
+		otf := sp.Child(telemetry.PhaseOTF, a.eng.Now())
+		a.phaseSpan = otf
 		a.io(reads(surv), userPriority, func(fails []xfer) {
 			// An unreadable survivor means the lost unit is really gone
 			// (two dead units in the stripe): repairThen records the
@@ -330,14 +363,19 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 			// the model's, standing in for the backup's.
 			a.repairThen(stripe, fails, userPriority, func() {
 				value := a.xorUnits(surv)
+				otf.End(a.eng.Now())
 				if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
 					// The user's data is ready now; the piggybacked
 					// write to the replacement continues under the
-					// stripe lock.
+					// stripe lock. Its span is a fresh root: the user's
+					// response does not include it.
 					done(value)
+					pg := a.spans.Root(telemetry.PhasePiggyback, telemetry.KindRecon, unit, a.eng.Now())
+					a.phaseSpan = pg
 					a.io([]xfer{{loc: loc, write: true}}, userPriority, func(_ []xfer) {
 						a.setUnitVal(loc, value)
 						a.markReconstructed(loc.Offset)
+						pg.End(a.eng.Now())
 						a.locks.release(stripe)
 					})
 					return
@@ -401,13 +439,16 @@ func (a *Array) Write(unit int64, done func()) {
 	op.stripe, _ = a.lay.Locate(op.loc)
 	op.value = a.newValue()
 	op.writeDone = done
+	op.span = a.takeOpSpan()
+	op.phase = op.span.Child(telemetry.PhaseLockWait, a.eng.Now())
 	a.locks.acquire(op.stripe, op.writeLockedFn)
 }
 
 // finish releases the stripe lock, recycles the node and delivers the
-// write completion.
+// write completion, closing whatever lifecycle phase was still open.
 func (op *userOp) finish() {
 	a, done := op.a, op.writeDone
+	op.phase.End(a.eng.Now())
 	a.locks.release(op.stripe)
 	a.putOp(op)
 	done()
@@ -417,18 +458,23 @@ func (op *userOp) finish() {
 // failure state it sees cannot change under it.
 func (op *userOp) writeLocked() {
 	a := op.a
+	op.phase.End(a.eng.Now()) // lock wait is over
+	op.phase = nil
 	op.ploc = layout.ParityLoc(a.lay, op.stripe)
 	switch {
 	case a.available(op.loc) && a.available(op.ploc):
 		op.writeNormal()
 	case !a.available(op.loc):
-		a.writeLostData(op.unit, op.loc, op.stripe, op.ploc, op.value, op.finishFn)
+		op.phase = op.span.Child(telemetry.PhaseFold, a.eng.Now())
+		a.writeLostData(op.unit, op.loc, op.stripe, op.ploc, op.value, op.phase, op.finishFn)
 	default:
 		// Parity is lost and not reconstructed: there is no value in
 		// updating it, so the write is a single data access (§7); the
 		// parity unit will be recomputed from data when its turn in
 		// the sweep comes.
+		op.phase = op.span.Child(telemetry.PhaseDataWrite, a.eng.Now())
 		op.xs[0] = xfer{loc: op.loc, write: true}
+		a.phaseSpan = op.phase
 		a.io(op.xs[:1], userPriority, op.lostParityFn)
 	}
 }
@@ -450,8 +496,10 @@ func (op *userOp) writeNormal() {
 		// unit, so the write is two plain writes with no pre-reads —
 		// the G=2 declustered layout behaves as declustered mirroring
 		// (Copeland & Keller's interleaved declustering, §3).
+		op.phase = op.span.Child(telemetry.PhaseMirror, a.eng.Now())
 		op.xs[0] = xfer{loc: op.loc, write: true}
 		op.xs[1] = xfer{loc: op.ploc, write: true}
+		a.phaseSpan = op.phase
 		a.io(op.xs[:2], userPriority, op.mirrorDoneFn)
 		return
 	}
@@ -468,17 +516,21 @@ func (op *userOp) writeNormal() {
 			op.otherData = a.unitVal(op.other)
 			// Overlap the companion read with the data write, then
 			// write parity computed from the two new values.
+			op.phase = op.span.Child(telemetry.PhaseSWPreread, a.eng.Now())
 			op.xs[0] = xfer{loc: op.other}
 			op.xs[1] = xfer{loc: op.loc, write: true}
+			a.phaseSpan = op.phase
 			a.io(op.xs[:2], userPriority, op.swPreFn)
 			return
 		}
 	}
 	// Pre-read old data and parity, then overwrite both.
+	op.phase = op.span.Child(telemetry.PhasePreread, a.eng.Now())
 	op.oldData = a.unitVal(op.loc)
 	op.oldParity = a.unitVal(op.ploc)
 	op.xs[0] = xfer{loc: op.loc}
 	op.xs[1] = xfer{loc: op.ploc}
+	a.phaseSpan = op.phase
 	a.io(op.xs[:2], userPriority, op.rmwPreFn)
 }
 
@@ -496,10 +548,13 @@ func (op *userOp) swPre(fails []xfer) {
 
 func (op *userOp) swRepaired() {
 	a := op.a
+	op.phase.End(a.eng.Now())
+	op.phase = op.span.Child(telemetry.PhaseSWCommit, a.eng.Now())
 	a.setUnitVal(op.loc, op.value)
 	a.expected[op.unit] = op.value
 	op.newParity = op.value ^ op.otherData
 	op.xs[0] = xfer{loc: op.ploc, write: true}
+	a.phaseSpan = op.phase
 	a.io(op.xs[:1], userPriority, op.swCommitFn)
 }
 
@@ -513,9 +568,12 @@ func (op *userOp) rmwPre(fails []xfer) {
 }
 
 func (op *userOp) rmwRepaired() {
+	op.phase.End(op.a.eng.Now())
+	op.phase = op.span.Child(telemetry.PhaseCommit, op.a.eng.Now())
 	op.newParity = op.oldParity ^ op.oldData ^ op.value
 	op.xs[0] = xfer{loc: op.loc, write: true}
 	op.xs[1] = xfer{loc: op.ploc, write: true}
+	op.a.phaseSpan = op.phase
 	op.a.io(op.xs[:2], userPriority, op.rmwCommitFn)
 }
 
@@ -533,10 +591,11 @@ func (op *userOp) rmwCommit(_ []xfer) {
 // later sweep reconstructs the new value. Under the other algorithms the
 // new data also goes directly to the replacement, which counts as
 // reconstruction.
-func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, finish func()) {
+func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, sp *telemetry.Span, finish func()) {
 	others := a.dataUnitsOf(stripe, loc) // G-2 surviving data units
 	toReplacement := (a.replacement || a.spareLay != nil) && a.cfg.Algorithm != Baseline
 	commitParity := func(newParity uint64) {
+		a.phaseSpan = sp
 		if toReplacement {
 			a.io([]xfer{{loc: ploc, write: true}, {loc: loc, write: true}}, userPriority, func(_ []xfer) {
 				a.setUnitVal(ploc, newParity)
@@ -558,6 +617,7 @@ func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc lay
 		commitParity(value)
 		return
 	}
+	a.phaseSpan = sp
 	a.io(reads(others), userPriority, func(fails []xfer) {
 		// A failed survivor read: the stripe has two dead units, so the
 		// value being folded into parity rests on a loss; repairThen

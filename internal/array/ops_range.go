@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"declust/internal/layout"
+	"declust/internal/telemetry"
 )
 
 // Range operations: multi-unit user accesses. The paper's simulations use
@@ -60,6 +61,7 @@ func join(n int, done func()) func() {
 // single-unit reads do.
 func (a *Array) ReadRange(unit int64, count int, done func()) {
 	a.checkRange(unit, count)
+	sp := a.takeOpSpan()
 	groups := a.groupByStripe(unit, count)
 	part := join(len(groups), done)
 	for _, grp := range groups {
@@ -82,6 +84,7 @@ func (a *Array) ReadRange(unit int64, count int, done func()) {
 		}
 		grpDone := join(sub, part)
 		if len(direct) > 0 {
+			a.phaseSpan = sp
 			a.io(reads(direct), userPriority, func(fails []xfer) {
 				if len(fails) == 0 {
 					grpDone()
@@ -98,7 +101,9 @@ func (a *Array) ReadRange(unit int64, count int, done func()) {
 		if lost >= 0 {
 			// At most one unit per stripe can be lost; reuse the
 			// single-unit degraded read path (locking, redirection,
-			// piggybacking included).
+			// piggybacking included). Its phases nest under this
+			// range's root span.
+			a.SetOpSpan(sp)
 			a.Read(lost, func(uint64) { grpDone() })
 		}
 	}
@@ -126,14 +131,15 @@ func (a *Array) posOf(loc layout.Loc, s int64) int {
 //     parity) fall back to the single-unit degraded paths per unit.
 func (a *Array) WriteRange(unit int64, count int, done func()) {
 	a.checkRange(unit, count)
+	sp := a.takeOpSpan()
 	groups := a.groupByStripe(unit, count)
 	part := join(len(groups), done)
 	for _, grp := range groups {
-		a.writeGroup(grp, part)
+		a.writeGroup(grp, sp, part)
 	}
 }
 
-func (a *Array) writeGroup(grp stripeGroup, done func()) {
+func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 	g := a.lay.G()
 	ploc := layout.ParityLoc(a.lay, grp.stripe)
 
@@ -149,6 +155,7 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 	if !writable {
 		part := join(len(grp.units), done)
 		for _, n := range grp.units {
+			a.SetOpSpan(sp)
 			a.Write(n, part)
 		}
 		return
@@ -159,8 +166,12 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 		values[i] = a.newValue()
 	}
 	k := len(grp.units)
+	lockSp := sp.Child(telemetry.PhaseLockWait, a.eng.Now())
 	a.locks.acquire(grp.stripe, func() {
+		lockSp.End(a.eng.Now())
+		var phase *telemetry.Span
 		finish := func() {
+			phase.End(a.eng.Now())
 			a.locks.release(grp.stripe)
 			done()
 		}
@@ -177,6 +188,7 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 			a.locks.release(grp.stripe)
 			part := join(len(grp.units), done)
 			for _, n := range grp.units {
+				a.SetOpSpan(sp)
 				a.Write(n, part)
 			}
 			return
@@ -227,6 +239,8 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 			for _, v := range values {
 				parity ^= v
 			}
+			phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
+			a.phaseSpan = phase
 			a.io(commit(), userPriority, func(_ []xfer) {
 				apply(parity)
 				finish()
@@ -239,8 +253,13 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 				parity ^= a.unitVal(loc) ^ values[i]
 			}
 			pre := append(reads(grp.locs), xfer{loc: ploc})
+			phase = sp.Child(telemetry.PhasePreread, a.eng.Now())
+			a.phaseSpan = phase
 			a.io(pre, userPriority, func(fails []xfer) {
 				a.repairThen(grp.stripe, fails, userPriority, func() {
+					phase.End(a.eng.Now())
+					phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
+					a.phaseSpan = phase
 					a.io(commit(), userPriority, func(_ []xfer) {
 						apply(parity)
 						finish()
@@ -253,8 +272,13 @@ func (a *Array) writeGroup(grp stripeGroup, done func()) {
 			for _, v := range values {
 				parity ^= v
 			}
+			phase = sp.Child(telemetry.PhasePreread, a.eng.Now())
+			a.phaseSpan = phase
 			a.io(reads(others), userPriority, func(fails []xfer) {
 				a.repairThen(grp.stripe, fails, userPriority, func() {
+					phase.End(a.eng.Now())
+					phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
+					a.phaseSpan = phase
 					a.io(commit(), userPriority, func(_ []xfer) {
 						apply(parity)
 						finish()

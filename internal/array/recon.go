@@ -6,6 +6,7 @@ import (
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/stats"
+	"declust/internal/telemetry"
 )
 
 // Reconstruct starts cfg.ReconProcs parallel reconstruction processes that
@@ -112,7 +113,14 @@ func (a *Array) reconStep() {
 	cycleStart := a.eng.Now()
 	loc := layout.Loc{Disk: a.failed, Offset: off}
 	stripe, _ := a.lay.Locate(loc)
+	// Each sweep cycle is its own trace: the lock wait, survivor reads and
+	// write-back become phases whose disk segments let the analyzer measure
+	// how much rebuild traffic overlaps user requests. Abandoned cycles
+	// (epoch bump, free reconstruction) never End and are never recorded.
+	cycleSp := a.spans.Root(telemetry.SpanReconCycle, telemetry.KindRecon, off, cycleStart)
+	lockSp := cycleSp.Child(telemetry.PhaseLockWait, cycleStart)
 	a.locks.acquire(stripe, func() {
+		lockSp.End(a.eng.Now())
 		if e != a.reconEpoch {
 			a.locks.release(stripe)
 			return
@@ -130,6 +138,8 @@ func (a *Array) reconStep() {
 			a.reconReads[u.Disk]++
 		}
 		readStart := a.eng.Now()
+		readSp := cycleSp.Child(telemetry.PhaseReconRead, readStart)
+		a.phaseSpan = readSp
 		a.io(reads(surv), a.reconPrio(), func(fails []xfer) {
 			if e != a.reconEpoch {
 				a.locks.release(stripe)
@@ -137,7 +147,9 @@ func (a *Array) reconStep() {
 			}
 			value := a.xorUnits(surv)
 			a.readPhase.Add(a.eng.Now() - readStart)
+			readSp.End(a.eng.Now())
 			writeStart := a.eng.Now()
+			writeSp := cycleSp.Child(telemetry.PhaseReconWrit, writeStart)
 			ws := []xfer{{loc: loc, write: true}}
 			if len(fails) > 0 {
 				// Unreadable survivors: the lost unit cannot really be
@@ -154,6 +166,7 @@ func (a *Array) reconStep() {
 				lostLocs = append(lostLocs, loc)
 				a.recordLoss(stripe, lostLocs)
 			}
+			a.phaseSpan = writeSp
 			a.io(ws, a.reconPrio(), func(_ []xfer) {
 				if e != a.reconEpoch {
 					a.locks.release(stripe)
@@ -161,6 +174,8 @@ func (a *Array) reconStep() {
 				}
 				a.setUnitVal(loc, value)
 				a.writePhase.Add(a.eng.Now() - writeStart)
+				writeSp.End(a.eng.Now())
+				cycleSp.End(a.eng.Now())
 				a.reconCycles++
 				a.mReconCyc.Inc()
 				a.markReconstructed(off)

@@ -10,6 +10,7 @@ import (
 	"declust/internal/metrics"
 	"declust/internal/sim"
 	"declust/internal/stats"
+	"declust/internal/telemetry"
 	"declust/internal/trace"
 	"declust/internal/workload"
 )
@@ -124,6 +125,31 @@ type SimConfig struct {
 	// progress and an ETA.
 	OnProgress      func(Progress)
 	ProgressEveryMS float64
+	// Spans, when non-nil, records request-lifecycle spans: a root span
+	// per user access with phase children from the array and per-disk
+	// service segments from the drives. Export with WriteJSONL or
+	// WriteChromeTrace, or feed Attribute for a latency breakdown.
+	Spans *telemetry.Tracer
+	// OnLive, when non-nil, is called every LiveEveryMS of simulated time
+	// (default 1000) with a read-only status snapshot — the bridge to the
+	// live telemetry server. The callback reads state only; enabling it
+	// never changes simulation results.
+	OnLive      func(LiveStatus)
+	LiveEveryMS float64
+}
+
+// LiveStatus is a point-in-time view of a running simulation, built for
+// the live telemetry server. Slices are freshly allocated per callback so
+// receivers may retain them across goroutines.
+type LiveStatus struct {
+	SimMS          float64
+	Requests       int
+	MeanResponseMS float64
+	DiskUtil       []float64 // busy fraction of the last interval, per slot
+	DiskQueue      []int     // instantaneous queue depth, per slot
+	ReconDone      int64
+	ReconTotal     int64
+	ReconETAMS     float64
 }
 
 // Progress is a reconstruction progress report (see SimConfig.OnProgress).
@@ -240,6 +266,9 @@ type runner struct {
 	writeHist *metrics.Histogram
 	mRequests *metrics.Counter
 	sampleMS  float64
+	spans     *telemetry.Tracer
+	onLive    func(LiveStatus)
+	liveMS    float64
 
 	// Arrival fast path: arriveFn is bound once; nextOp carries the one
 	// arrival scheduled but not yet fired (pump schedules the next arrival
@@ -257,6 +286,7 @@ type pendingReq struct {
 	r         *runner
 	start     float64
 	op        workload.Op
+	span      *telemetry.Span // root span; nil when tracing is off
 	recordFn  func()
 	recordVFn func(uint64)
 }
@@ -280,9 +310,11 @@ func (p *pendingReq) recordV(uint64) { p.record() }
 // measurement window.
 func (p *pendingReq) record() {
 	r := p.r
-	start, op := p.start, p.op
+	start, op, span := p.start, p.op, p.span
+	p.span = nil
 	r.pendFree = append(r.pendFree, p)
 	if start >= r.from && (r.to < 0 || start < r.to) {
+		span.SetMeasured()
 		lat := r.eng.Now() - start
 		r.resp.Add(lat)
 		r.mRequests.Inc()
@@ -305,6 +337,7 @@ func (p *pendingReq) record() {
 			r.classify(start, r.eng.Now())
 		}
 	}
+	span.End(r.eng.Now())
 }
 
 func newRunner(cfg SimConfig) (*runner, error) {
@@ -354,6 +387,7 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		Faults:                    inj,
 		Metrics:                   cfg.Metrics,
 		Tracer:                    cfg.Tracer,
+		Spans:                     cfg.Spans,
 	})
 	if err != nil {
 		return nil, err
@@ -378,6 +412,10 @@ func newRunner(cfg SimConfig) (*runner, error) {
 		eng: eng, arr: arr, gen: src, capture: cfg.CaptureTrace, to: -1,
 		faults: inj, scrubMS: cfg.ScrubIntervalMS, raOn: cfg.ReadAheadTracks > 0,
 		reg: cfg.Metrics, tracer: cfg.Tracer, sampleMS: cfg.SampleEveryMS,
+		spans: cfg.Spans, onLive: cfg.OnLive, liveMS: cfg.LiveEveryMS,
+	}
+	if r.onLive != nil && r.liveMS <= 0 {
+		r.liveMS = 1000
 	}
 	if r.reg != nil {
 		r.respHist = r.reg.Histogram("user_response_ms")
@@ -491,6 +529,51 @@ func (r *runner) startSampling() {
 	r.eng.Schedule(r.sampleMS, tick)
 }
 
+// startLive begins the live-status ticker: every liveMS of simulated time
+// it hands OnLive a fresh snapshot of response stats, per-disk activity
+// and reconstruction progress. Like the sampler it reads state only and
+// stops rescheduling once the runner stops, so enabling it never changes
+// simulation results (beyond the engine's event count).
+func (r *runner) startLive() {
+	if r.onLive == nil {
+		return
+	}
+	n := r.arr.Layout().Disks()
+	prevBusy := make([]float64, n)
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		st := LiveStatus{
+			SimMS:          r.eng.Now(),
+			Requests:       r.resp.N(),
+			MeanResponseMS: r.resp.Mean(),
+			DiskUtil:       make([]float64, n),
+			DiskQueue:      make([]int, n),
+		}
+		for i := 0; i < n; i++ {
+			d := r.arr.Disk(i)
+			busy := d.Stats().BusyMS - prevBusy[i]
+			if busy < 0 {
+				busy = d.Stats().BusyMS // drive replaced mid-interval
+			}
+			st.DiskUtil[i] = busy / r.liveMS
+			st.DiskQueue[i] = d.QueueLen()
+			prevBusy[i] = d.Stats().BusyMS
+		}
+		if done, total := r.arr.ReconProgress(); total > 0 {
+			st.ReconDone, st.ReconTotal = done, total
+			if elapsed := r.eng.Now() - r.arr.ReconStartMS(); done > 0 && elapsed > 0 && r.arr.Reconstructing() {
+				st.ReconETAMS = elapsed / float64(done) * float64(total-done)
+			}
+		}
+		r.onLive(st)
+		r.eng.Schedule(r.liveMS, tick)
+	}
+	r.eng.Schedule(r.liveMS, tick)
+}
+
 // exportFinal freezes end-of-run aggregates into the registry: per-disk
 // lifetime gauges, engine totals, and — after a reconstruction — sweep
 // totals and the per-survivor read load.
@@ -576,6 +659,17 @@ func (r *runner) arrive() {
 	p := r.getPend()
 	p.start = r.eng.Now()
 	p.op = op
+	if r.spans != nil {
+		name, kind := "write", telemetry.KindWrite
+		if op.Read {
+			name, kind = "read", telemetry.KindRead
+		}
+		if op.Count > 1 {
+			name += "-range"
+		}
+		p.span = r.spans.Root(name, kind, op.Unit, p.start)
+		r.arr.SetOpSpan(p.span)
+	}
 	switch {
 	case op.Read && op.Count == 1:
 		r.arr.Read(op.Unit, p.recordVFn)
@@ -649,6 +743,7 @@ func (r *runner) timedWindow(cfg SimConfig) (Metrics, error) {
 	r.from = cfg.WarmupMS
 	r.to = cfg.WarmupMS + cfg.MeasureMS
 	r.startSampling()
+	r.startLive()
 	r.startFaults()
 	r.pump()
 	r.eng.RunUntil(r.to)
@@ -683,6 +778,7 @@ func RunReconstruction(cfg SimConfig) (Metrics, error) {
 	}
 	r.from = cfg.WarmupMS
 	r.startSampling()
+	r.startLive()
 	r.startFaults()
 	r.pump()
 	r.eng.RunUntil(cfg.WarmupMS)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"declust/internal/sim"
+	"declust/internal/telemetry"
 )
 
 // Status is the outcome of a disk transfer.
@@ -60,6 +61,12 @@ type Request struct {
 	// at which service started and finished and the transfer's outcome.
 	OnDone func(start, finish float64, st Status)
 
+	// Span, when non-nil, is the lifecycle span this transfer belongs to;
+	// the drive records queue/seek/rotate/transfer (or cache-hit, or
+	// timeout) child segments under it at completion time. Nil — the
+	// default — records nothing and costs one nil check.
+	Span *telemetry.Span
+
 	queuedAt float64
 	seq      uint64
 	cyl      int // target cylinder, computed once at Submit
@@ -93,11 +100,12 @@ type Disk struct {
 	seek  SeekCurve
 	sched *schedQueue
 
-	busy     bool
-	headCyl  int
-	seq      uint64
-	stats    Stats
-	observer func(Event)
+	busy      bool
+	headCyl   int
+	seq       uint64
+	slot      int // array slot for telemetry segments; -1 when standalone
+	stats     Stats
+	observers []func(Event)
 
 	// Track read-ahead buffer: [raLo, raHi) is the LBA window currently
 	// held in drive RAM; empty when raLo >= raHi. hitFree pools hit
@@ -116,6 +124,7 @@ type Disk struct {
 	doneStatus Status
 	doneCyl    int
 	doneDist   int
+	doneBr     serviceBreakdown
 	completeFn func()
 
 	// Fault injection (nil hook = the drive never errs).
@@ -170,6 +179,7 @@ func NewWithConfig(eng *sim.Engine, geom Geometry, cfg Config) *Disk {
 		seek:     NewSeekCurve(geom),
 		sched:    newSchedQueue(cfg.Policy, cfg.CvscanBias, geom.Cylinders, cfg.AgePromoteMS),
 		raTracks: cfg.ReadAheadTracks,
+		slot:     -1,
 	}
 	d.completeFn = d.complete
 	return d
@@ -177,6 +187,11 @@ func NewWithConfig(eng *sim.Engine, geom Geometry, cfg Config) *Disk {
 
 // Geometry returns the drive geometry.
 func (d *Disk) Geometry() Geometry { return d.geom }
+
+// SetSlot tags the drive with its array slot index, used to label
+// telemetry segments with the disk track they occurred on. -1 (the
+// default) marks a standalone drive.
+func (d *Disk) SetSlot(slot int) { d.slot = slot }
 
 // Stats returns a copy of the accumulated counters.
 func (d *Disk) Stats() Stats { return d.stats }
@@ -257,6 +272,7 @@ func (d *Disk) startNext() {
 		d.stats.Timeouts++
 		d.doneReq, d.doneStart, d.doneFinish = r, start, finish
 		d.doneStatus, d.doneCyl, d.doneDist = Timeout, d.headCyl, 0
+		d.doneBr = serviceBreakdown{}
 		d.eng.At(finish, d.completeFn)
 		return
 	}
@@ -277,6 +293,7 @@ func (d *Disk) startNext() {
 
 	d.doneReq, d.doneStart, d.doneFinish = r, start, finish
 	d.doneStatus, d.doneCyl, d.doneDist = st, tgt.Cyl, dist
+	d.doneBr = br
 	d.eng.At(finish, d.completeFn)
 }
 
@@ -287,6 +304,7 @@ func (d *Disk) complete() {
 	r := d.doneReq
 	start, finish, st := d.doneStart, d.doneFinish, d.doneStatus
 	cyl, dist := d.doneCyl, d.doneDist
+	br := d.doneBr
 	d.doneReq = nil
 	d.busy = false
 	d.stats.Completed++
@@ -299,13 +317,40 @@ func (d *Disk) complete() {
 			d.raFill(r.Start, r.Count)
 		}
 	}
-	if d.observer != nil {
-		d.observer(Event{
+	if sp := r.Span; sp != nil {
+		// Segment boundaries come from the aggregated breakdown: the
+		// per-track interleaving of seek/rotate/transfer collapses into
+		// one contiguous window per kind.
+		if start > r.queuedAt {
+			sp.Segment(telemetry.SegQueue, d.slot, r.queuedAt, start)
+		}
+		if st == Timeout {
+			sp.Segment(telemetry.SegTimeout, d.slot, start, finish)
+		} else {
+			t := start
+			if br.seek > 0 {
+				sp.Segment(telemetry.SegSeek, d.slot, t, t+br.seek)
+				t += br.seek
+			}
+			if br.rotate > 0 {
+				sp.Segment(telemetry.SegRotate, d.slot, t, t+br.rotate)
+				t += br.rotate
+			}
+			if finish > t {
+				sp.Segment(telemetry.SegTransfer, d.slot, t, finish)
+			}
+		}
+	}
+	if len(d.observers) > 0 {
+		ev := Event{
 			QueuedAt: r.queuedAt, Start: start, Finish: finish,
 			Cyl: cyl, SeekDist: dist,
 			Sectors: r.Count, Write: r.Write, Priority: r.Priority,
 			Status: st,
-		})
+		}
+		for _, fn := range d.observers {
+			fn(ev)
+		}
 	}
 	// Start the next transfer before delivering the completion, so the
 	// arm never idles waiting on upper-layer work.

@@ -20,10 +20,25 @@ type Event struct {
 	CacheHit bool   // served from the track read-ahead buffer
 }
 
-// SetObserver registers a callback invoked at every request completion.
-// Pass nil to remove it. Observation is off the timing path: it cannot
-// perturb the simulation.
-func (d *Disk) SetObserver(fn func(Event)) { d.observer = fn }
+// SetObserver replaces the observer chain with the single callback fn,
+// invoked at every request completion. Pass nil to remove all observers.
+// Observation is off the timing path: it cannot perturb the simulation.
+func (d *Disk) SetObserver(fn func(Event)) {
+	d.observers = d.observers[:0]
+	if fn != nil {
+		d.observers = append(d.observers, fn)
+	}
+}
+
+// AddObserver appends fn to the observer chain, leaving existing
+// observers in place: the tracer and a metrics collector can watch the
+// same drive without sharing one hook. Observers run in registration
+// order at every completion; a nil fn is ignored.
+func (d *Disk) AddObserver(fn func(Event)) {
+	if fn != nil {
+		d.observers = append(d.observers, fn)
+	}
+}
 
 // Summary aggregates observed events into the quantities disk papers
 // report: utilization, queue delay, and the seek-distance distribution

@@ -1,5 +1,7 @@
 package disk
 
+import "declust/internal/telemetry"
+
 // Track read-ahead. Real drive electronics keep reading past the host's
 // transfer into a track buffer, because the platter is rotating under the
 // head anyway; a subsequent read of those sectors is served from RAM with
@@ -83,13 +85,21 @@ func (h *raHit) fire() {
 	d.stats.Completed++
 	d.stats.CacheHits++
 	d.stats.CacheHitSectors += int64(r.Count)
-	if d.observer != nil {
-		d.observer(Event{
+	if sp := r.Span; sp != nil {
+		// Zero-duration by design: the buffer answers instantly. The
+		// segment marks the transfer as mechanically free.
+		sp.Segment(telemetry.SegCacheHit, d.slot, now, now)
+	}
+	if len(d.observers) > 0 {
+		ev := Event{
 			QueuedAt: r.queuedAt, Start: now, Finish: now,
 			Cyl: d.headCyl, SeekDist: 0,
 			Sectors: r.Count, Write: false, Priority: r.Priority,
 			Status: OK, CacheHit: true,
-		})
+		}
+		for _, fn := range d.observers {
+			fn(ev)
+		}
 	}
 	if r.OnDone != nil {
 		r.OnDone(now, now, OK)

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"declust/internal/telemetry"
+)
+
+func TestExtPhasesAttribution(t *testing.T) {
+	o := fastOpts()
+	dir := t.TempDir()
+	pts, tab, err := ExtPhases(o, []int{5, 21}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 || len(tab.Rows) != 6 {
+		t.Fatalf("%d points / %d rows, want 6 (2 G × 3 modes)", len(pts), len(tab.Rows))
+	}
+	byMode := map[string]map[int]telemetry.Attribution{}
+	for _, p := range pts {
+		if byMode[p.Mode] == nil {
+			byMode[p.Mode] = map[int]telemetry.Attribution{}
+		}
+		byMode[p.Mode][p.G] = p.Attr
+		if p.Attr.Requests == 0 || p.Attr.MeanResponseMS <= 0 {
+			t.Fatalf("degenerate attribution at G=%d %s: %+v", p.G, p.Mode, p.Attr)
+		}
+	}
+	for g := range byMode["faultfree"] {
+		ff, dg, rb := byMode["faultfree"][g], byMode["degraded"][g], byMode["rebuild"][g]
+		// Only the rebuild run has rebuild I/O to interfere with users; the
+		// phase decomposition must reflect the paper's story: degraded and
+		// rebuild modes respond slower than fault-free.
+		if ff.InterferenceMS != 0 || dg.InterferenceMS != 0 {
+			t.Errorf("G=%d: interference outside rebuild: ff %.3f, degraded %.3f",
+				g, ff.InterferenceMS, dg.InterferenceMS)
+		}
+		if rb.InterferenceMS <= 0 {
+			t.Errorf("G=%d: rebuild run shows no interference", g)
+		}
+		if rb.MeanResponseMS <= ff.MeanResponseMS {
+			t.Errorf("G=%d: rebuild response %.1f !> fault-free %.1f",
+				g, rb.MeanResponseMS, ff.MeanResponseMS)
+		}
+		// Fault-free has no degraded machinery: no on-the-fly rebuilds.
+		if ff.OTFMS != 0 {
+			t.Errorf("G=%d: fault-free run reports OTF reconstruction %.3f ms", g, ff.OTFMS)
+		}
+		if dg.OTFMS <= 0 {
+			t.Errorf("G=%d: degraded run reports no OTF reconstruction", g)
+		}
+	}
+
+	// The span files land next to tracestat's expectations: parseable, with
+	// meta matching the point.
+	for _, p := range pts {
+		name := filepath.Join(dir, fmt.Sprintf("phases_g%d_%s.spans.jsonl", p.G, p.Mode))
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, spans, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta == nil || meta.G != p.G || meta.Mode != p.Mode || meta.Alpha != p.Alpha {
+			t.Errorf("%s meta = %+v", name, meta)
+		}
+		if got := telemetry.Attribute(spans); got.Requests != p.Attr.Requests {
+			t.Errorf("%s re-attribution %d requests, point had %d",
+				name, got.Requests, p.Attr.Requests)
+		}
+	}
+}
+
+func TestExtPhasesDeterministicAcrossWorkers(t *testing.T) {
+	do := func(workers int) string {
+		o := fastOpts()
+		o.Workers = workers
+		_, tab, err := ExtPhases(o, []int{5}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial, parallel := do(1), do(4)
+	if serial != parallel {
+		t.Errorf("ext-phases output differs across -j:\n%s\nvs\n%s", serial, parallel)
+	}
+}

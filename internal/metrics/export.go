@@ -75,6 +75,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if h.count > 0 {
 			fmt.Fprintf(bw, "%s_min%s %s\n", base, suffix, fmtFloat(h.min))
 			fmt.Fprintf(bw, "%s_max%s %s\n", base, suffix, fmtFloat(h.max))
+			s := h.Summary()
+			fmt.Fprintf(bw, "%s_p50%s %s\n", base, suffix, fmtFloat(s.P50))
+			fmt.Fprintf(bw, "%s_p90%s %s\n", base, suffix, fmtFloat(s.P90))
+			fmt.Fprintf(bw, "%s_p99%s %s\n", base, suffix, fmtFloat(s.P99))
+			fmt.Fprintf(bw, "%s_p999%s %s\n", base, suffix, fmtFloat(s.P999))
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestHistogramSummary(t *testing.T) {
+	// A heavy tail only p99.9 can see: 999 fast observations, one stall.
+	h := NewRegistry().Histogram("lat_ms")
+	for i := 0; i < 999; i++ {
+		h.Observe(1)
+	}
+	h.Observe(5000)
+	s := h.Summary()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 5000 {
+		t.Fatalf("summary basics: %+v", s)
+	}
+	if s.Mean != 5.999 {
+		t.Errorf("mean %v, want 5.999", s.Mean)
+	}
+	// Quantiles are bucket upper bounds: ordered, and the tail quantile
+	// must reach the stall while p99 stays with the fast mass.
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999) {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+	if s.P99 >= 5000 {
+		t.Errorf("p99 = %v caught the 1-in-1000 stall", s.P99)
+	}
+	if s.P999 < 5000 {
+		t.Errorf("p99.9 = %v missed the 1-in-1000 stall", s.P999)
+	}
+}
+
+func TestHistogramSummaryEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	if s := h.Summary(); s != (Summary{}) {
+		t.Errorf("nil histogram summary %+v, want zero", s)
+	}
+	if s := NewRegistry().Histogram("x").Summary(); s != (Summary{}) {
+		t.Errorf("empty histogram summary %+v, want zero", s)
+	}
+}
+
+func TestPrometheusQuantileLines(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(`resp_ms{disk="3"}`)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`resp_ms_p50{disk="3"} `, `resp_ms_p90{disk="3"} `,
+		`resp_ms_p99{disk="3"} `, `resp_ms_p999{disk="3"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// An observation-free histogram exports buckets but no quantiles.
+	reg2 := NewRegistry()
+	reg2.Histogram("idle_ms")
+	buf.Reset()
+	if err := reg2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "_p999") {
+		t.Errorf("empty histogram exported quantiles:\n%s", buf.String())
+	}
+}
+
+// errWriter fails after n bytes, driving the exporters' error returns.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errors.New("pipe closed")
+	}
+	if len(p) > e.n {
+		n := e.n
+		e.n = 0
+		return n, errors.New("pipe closed")
+	}
+	e.n -= len(p)
+	return len(p), nil
+}
+
+func TestExportWriterErrors(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(2)
+	h := reg.Histogram("h_ms")
+	h.Observe(5)
+	reg.Series("s").Observe(100, 1.5)
+
+	var prom, csv bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < prom.Len(); n += 13 {
+		if err := reg.WritePrometheus(&errWriter{n: n}); err == nil {
+			t.Fatalf("WritePrometheus with writer failing at byte %d reported no error", n)
+		}
+	}
+	for n := 0; n < csv.Len(); n += 13 {
+		if err := reg.WriteCSV(&errWriter{n: n}); err == nil {
+			t.Fatalf("WriteCSV with writer failing at byte %d reported no error", n)
+		}
+	}
+
+	// Nil registry exporters write nothing and succeed.
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&errWriter{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if err := nilReg.WriteCSV(&errWriter{}); err != nil {
+		t.Errorf("nil registry WriteCSV: %v", err)
+	}
+}
+
+func TestCSVQuotesAwkwardNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Series(`odd,"name"`).Observe(1, 2)
+	var buf bytes.Buffer
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"odd,""name""",1,2`) {
+		t.Errorf("awkward series name not CSV-quoted:\n%s", buf.String())
+	}
+}

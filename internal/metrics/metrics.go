@@ -252,6 +252,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Summary is a histogram's headline statistics in one struct. Quantiles
+// are bucket upper bounds (see Quantile); P999 is the 99.9th percentile,
+// the tail the paper's continuous-operation argument cares about.
+type Summary struct {
+	Count               int64
+	Mean                float64
+	Min, Max            float64
+	P50, P90, P99, P999 float64
+}
+
+// Summary returns the histogram's summary statistics (zero value on nil
+// or empty).
+func (h *Histogram) Summary() Summary {
+	if h == nil || h.count == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.count, Mean: h.Mean(), Min: h.min, Max: h.max,
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90),
+		P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+	}
+}
+
 // Series is a sequence of (sim-time, value) samples appended on a fixed
 // cadence by the runner's sampler and exported as CSV.
 type Series struct {

@@ -1,0 +1,190 @@
+package telemetry
+
+import "sort"
+
+// Attribution decomposes measured user response time by cause. All *MS
+// fields are means per measured request, summed over that request's spans:
+// a request touching two disks contributes both queue waits, so components
+// need not add up to the response time (phases overlap and parallel disk
+// accesses double-count by design — the table answers "where did the time
+// go", not "what is the critical path").
+type Attribution struct {
+	Requests       int     // measured root spans (user reads + writes)
+	MeanResponseMS float64 // root span duration
+
+	// Disk-level decomposition of the request's transfers.
+	QueueMS        float64 // waiting in drive scheduler queues
+	InterferenceMS float64 // portion of QueueMS while the drive served rebuild I/O
+	ServiceMS      float64 // seek + rotate + transfer
+	SeekMS         float64
+	RotateMS       float64
+	TransferMS     float64
+	TimeoutMS      float64 // transient-fault stalls absorbed by retries
+	CacheHits      int64   // segments served from the read-ahead buffer
+
+	// Array-level phases.
+	LockWaitMS float64 // stripe lock acquisition
+	OTFMS      float64 // on-the-fly reconstruction of degraded reads
+
+	// PhaseTotals sums every span name over measured traces (user and
+	// recon alike), for the per-phase breakdown listing.
+	PhaseTotals []PhaseTotal
+}
+
+// PhaseTotal is one span name's aggregate.
+type PhaseTotal struct {
+	Name    string
+	Kind    string
+	Count   int64
+	TotalMS float64
+}
+
+// interval is a half-open busy window [lo, hi) on one disk.
+type interval struct{ lo, hi float64 }
+
+// isServiceSeg reports whether a segment name occupies the drive's arm
+// (queue waiters behind it are delayed by exactly these windows).
+func isServiceSeg(name string) bool {
+	switch name {
+	case SegSeek, SegRotate, SegTransfer, SegTimeout:
+		return true
+	}
+	return false
+}
+
+// Attribute computes the causal decomposition of one run's spans.
+//
+// Reconstruction interference is computed from first principles: for every
+// measured user transfer's queue-wait window, the overlap with the same
+// drive's reconstruction-kind service windows is time the user request
+// spent waiting specifically because the arm was busy rebuilding. The
+// remainder of the queue wait is ordinary user-on-user queueing.
+func Attribute(spans []Span) Attribution {
+	var a Attribution
+
+	// Reconstruction service windows per disk: collect, sort by start,
+	// then merge overlaps (spans arrive in completion order, not time
+	// order) so the binary-searched overlap sums disjoint intervals.
+	recon := map[int][]interval{}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Kind == KindRecon && sp.Disk >= 0 && isServiceSeg(sp.Name) && sp.EndMS > sp.StartMS {
+			recon[sp.Disk] = append(recon[sp.Disk], interval{sp.StartMS, sp.EndMS})
+		}
+	}
+	for d, ivs := range recon {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		merged := ivs[:1]
+		for _, iv := range ivs[1:] {
+			if last := &merged[len(merged)-1]; iv.lo <= last.hi {
+				if iv.hi > last.hi {
+					last.hi = iv.hi
+				}
+			} else {
+				merged = append(merged, iv)
+			}
+		}
+		recon[d] = merged
+	}
+
+	// Measured user traces.
+	measured := map[uint64]bool{}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Parent == 0 && sp.Measured && (sp.Kind == KindRead || sp.Kind == KindWrite) {
+			measured[sp.Trace] = true
+			a.Requests++
+			a.MeanResponseMS += sp.EndMS - sp.StartMS
+		}
+	}
+
+	phase := map[[2]string]*PhaseTotal{}
+	for i := range spans {
+		sp := &spans[i]
+		dur := sp.EndMS - sp.StartMS
+		key := [2]string{sp.Name, sp.Kind}
+		pt := phase[key]
+		if pt == nil {
+			pt = &PhaseTotal{Name: sp.Name, Kind: sp.Kind}
+			phase[key] = pt
+		}
+		pt.Count++
+		pt.TotalMS += dur
+
+		if !measured[sp.Trace] {
+			continue
+		}
+		switch sp.Name {
+		case SegQueue:
+			a.QueueMS += dur
+			a.InterferenceMS += overlap(recon[sp.Disk], sp.StartMS, sp.EndMS)
+		case SegSeek:
+			a.SeekMS += dur
+			a.ServiceMS += dur
+		case SegRotate:
+			a.RotateMS += dur
+			a.ServiceMS += dur
+		case SegTransfer:
+			a.TransferMS += dur
+			a.ServiceMS += dur
+		case SegTimeout:
+			a.TimeoutMS += dur
+		case SegCacheHit:
+			a.CacheHits++
+		case PhaseLockWait:
+			a.LockWaitMS += dur
+		case PhaseOTF:
+			a.OTFMS += dur
+		}
+	}
+
+	if a.Requests > 0 {
+		n := float64(a.Requests)
+		a.MeanResponseMS /= n
+		a.QueueMS /= n
+		a.InterferenceMS /= n
+		a.ServiceMS /= n
+		a.SeekMS /= n
+		a.RotateMS /= n
+		a.TransferMS /= n
+		a.TimeoutMS /= n
+		a.LockWaitMS /= n
+		a.OTFMS /= n
+	}
+
+	a.PhaseTotals = make([]PhaseTotal, 0, len(phase))
+	for _, pt := range phase {
+		a.PhaseTotals = append(a.PhaseTotals, *pt)
+	}
+	sort.Slice(a.PhaseTotals, func(i, j int) bool {
+		if a.PhaseTotals[i].Kind != a.PhaseTotals[j].Kind {
+			return a.PhaseTotals[i].Kind < a.PhaseTotals[j].Kind
+		}
+		return a.PhaseTotals[i].Name < a.PhaseTotals[j].Name
+	})
+	return a
+}
+
+// overlap returns the total length of [lo, hi) covered by the sorted,
+// disjoint intervals.
+func overlap(ivs []interval, lo, hi float64) float64 {
+	if len(ivs) == 0 || hi <= lo {
+		return 0
+	}
+	// First interval that ends after lo.
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi > lo })
+	var sum float64
+	for ; i < len(ivs) && ivs[i].lo < hi; i++ {
+		l, h := ivs[i].lo, ivs[i].hi
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if h > l {
+			sum += h - l
+		}
+	}
+	return sum
+}

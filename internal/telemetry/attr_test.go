@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestAttributeDecomposition builds a hand-computable trace: two measured
+// user requests, one with its queue wait partly behind rebuild I/O.
+func TestAttributeDecomposition(t *testing.T) {
+	tr := New()
+
+	// A recon cycle keeps disk 0's arm busy at [10, 14) and [20, 22).
+	rc := tr.Root(SpanReconCycle, KindRecon, 0, 10)
+	rc.Segment(SegSeek, 0, 10, 12)
+	rc.Segment(SegTransfer, 0, 12, 14)
+	rc.Segment(SegTransfer, 0, 20, 22)
+	rc.End(22)
+
+	// Request 1: queued on disk 0 during [11, 15) — 3 ms of that window
+	// overlaps the rebuild service at [11, 14).
+	r1 := tr.Root("read", KindRead, 1, 11)
+	lk := r1.Child(PhaseLockWait, 11)
+	lk.End(11.5)
+	r1.Segment(SegQueue, 0, 11, 15)
+	r1.Segment(SegSeek, 0, 15, 16)
+	r1.Segment(SegRotate, 0, 16, 18)
+	r1.Segment(SegTransfer, 0, 18, 19)
+	r1.SetMeasured()
+	r1.End(19)
+
+	// Request 2: on disk 1, no rebuild there, no interference.
+	r2 := tr.Root("write", KindWrite, 2, 30)
+	r2.Segment(SegQueue, 1, 30, 32)
+	r2.Segment(SegTransfer, 1, 32, 33)
+	r2.SetMeasured()
+	r2.End(33)
+
+	// An unmeasured warmup request must not count at all.
+	warm := tr.Root("read", KindRead, 3, 0)
+	warm.Segment(SegQueue, 0, 0, 5)
+	warm.End(5)
+
+	a := Attribute(tr.Spans())
+	if a.Requests != 2 {
+		t.Fatalf("%d measured requests, want 2", a.Requests)
+	}
+	// Means over 2 requests: response (8+3)/2, queue (4+2)/2,
+	// interference (3+0)/2, service (4+1)/2, lock wait (0.5+0)/2.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"response", a.MeanResponseMS, 5.5},
+		{"queue", a.QueueMS, 3},
+		{"interference", a.InterferenceMS, 1.5},
+		{"service", a.ServiceMS, 2.5},
+		{"seek", a.SeekMS, 0.5},
+		{"rotate", a.RotateMS, 1},
+		{"transfer", a.TransferMS, 1},
+		{"lockwait", a.LockWaitMS, 0.25},
+		{"otf", a.OTFMS, 0},
+	}
+	for _, c := range checks {
+		if !approx(c.got, c.want) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestAttributeMergesOverlappingReconWindows feeds overlapping rebuild
+// service intervals (parallel recon processes on one drive report
+// overlapping windows in completion order); the overlap must not be
+// double-counted.
+func TestAttributeMergesOverlappingReconWindows(t *testing.T) {
+	tr := New()
+	rc := tr.Root(SpanReconCycle, KindRecon, 0, 0)
+	// Out of time order and overlapping: union is [10, 18).
+	rc.Segment(SegTransfer, 0, 14, 18)
+	rc.Segment(SegSeek, 0, 10, 15)
+	rc.Segment(SegRotate, 0, 12, 16)
+	rc.End(20)
+
+	r := tr.Root("read", KindRead, 1, 10)
+	r.Segment(SegQueue, 0, 10, 20) // overlaps the union for 8 ms
+	r.SetMeasured()
+	r.End(20)
+
+	a := Attribute(tr.Spans())
+	if !approx(a.InterferenceMS, 8) {
+		t.Fatalf("interference %v ms, want 8 (double-counted overlap?)", a.InterferenceMS)
+	}
+	if a.InterferenceMS > a.QueueMS {
+		t.Fatalf("interference %v exceeds queue wait %v", a.InterferenceMS, a.QueueMS)
+	}
+}
+
+func TestAttributePhaseTotalsOrderedAndComplete(t *testing.T) {
+	a := Attribute(sampleTracer().Spans())
+	if len(a.PhaseTotals) == 0 {
+		t.Fatal("no phase totals")
+	}
+	for i := 1; i < len(a.PhaseTotals); i++ {
+		p, q := a.PhaseTotals[i-1], a.PhaseTotals[i]
+		if p.Kind > q.Kind || (p.Kind == q.Kind && p.Name >= q.Name) {
+			t.Fatalf("phase totals out of order: %+v before %+v", p, q)
+		}
+	}
+	var spans int64
+	for _, pt := range a.PhaseTotals {
+		spans += pt.Count
+	}
+	if spans != int64(sampleTracer().Len()) {
+		t.Fatalf("phase totals cover %d spans, want %d", spans, sampleTracer().Len())
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	a := Attribute(nil)
+	if a.Requests != 0 || a.MeanResponseMS != 0 || len(a.PhaseTotals) != 0 {
+		t.Fatalf("empty attribution not zero: %+v", a)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	ivs := []interval{{10, 14}, {20, 22}, {30, 40}}
+	cases := []struct {
+		lo, hi, want float64
+	}{
+		{0, 5, 0},    // before everything
+		{0, 100, 16}, // covers everything
+		{11, 21, 4},  // spans two intervals partially
+		{14, 20, 0},  // exactly the gap
+		{35, 35, 0},  // empty window
+		{12, 13, 1},  // inside one interval
+	}
+	for _, c := range cases {
+		if got := overlap(ivs, c.lo, c.hi); !approx(got, c.want) {
+			t.Errorf("overlap[%v,%v) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if overlap(nil, 0, 10) != 0 {
+		t.Error("overlap with no intervals must be 0")
+	}
+}

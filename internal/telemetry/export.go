@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Meta labels a span file with the run that produced it, so analyzers can
+// group files by configuration without re-parsing file names.
+type Meta struct {
+	C     int     `json:"c"`
+	G     int     `json:"g"`
+	Alpha float64 `json:"alpha"`
+	Mode  string  `json:"mode"` // faultfree | degraded | rebuild
+	Seed  int64   `json:"seed"`
+}
+
+// metaLine wraps Meta so the header line is self-identifying:
+// {"meta":{...}} cannot be confused with a span line.
+type metaLine struct {
+	Meta *Meta `json:"meta"`
+}
+
+// WriteJSONL writes the tracer's spans one JSON object per line, in
+// completion order, preceded by an optional meta header line. Output is
+// byte-identical for a deterministic run.
+func (t *Tracer) WriteJSONL(w io.Writer, meta *Meta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if meta != nil {
+		if err := enc.Encode(metaLine{Meta: meta}); err != nil {
+			return err
+		}
+	}
+	for i := range t.Spans() {
+		if err := enc.Encode(&t.spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a span file written by WriteJSONL. The meta result is
+// nil when the file has no header line.
+func ReadJSONL(r io.Reader) (*Meta, []Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var meta *Meta
+	var spans []Span
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var ml metaLine
+			if err := json.Unmarshal(line, &ml); err == nil && ml.Meta != nil {
+				meta = ml.Meta
+				continue
+			}
+		}
+		var sp Span
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return nil, nil, fmt.Errorf("telemetry: bad span line: %w", err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return meta, spans, nil
+}
+
+// Chrome trace-event JSON (the "JSON Array Format" Perfetto and
+// chrome://tracing import). Each completed span becomes one "X" duration
+// event; timestamps are simulated microseconds. Tracks (tid) separate the
+// user request stream, the rebuild stream, and each disk, named by "M"
+// metadata events up front.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	tidUser  = 0
+	tidRecon = 1
+	tidDisk0 = 2 // disk i renders as track tidDisk0+i
+)
+
+func (sp *Span) tid() int {
+	if sp.Disk >= 0 {
+		return tidDisk0 + sp.Disk
+	}
+	if sp.Kind == KindRecon {
+		return tidRecon
+	}
+	return tidUser
+}
+
+// WriteChromeTrace emits the tracer's spans as a Chrome trace-event JSON
+// array, viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	emit := func(first bool, ev chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	meta := func(first bool, tid int, label string) error {
+		return emit(first, chromeEvent{
+			Ph: "M", Pid: 0, Tid: tid, Name: "thread_name",
+			Args: map[string]any{"name": label},
+		})
+	}
+	maxDisk := -1
+	for i := range t.Spans() {
+		if d := t.spans[i].Disk; d > maxDisk {
+			maxDisk = d
+		}
+	}
+	if err := emit(true, chromeEvent{
+		Ph: "M", Pid: 0, Name: "process_name",
+		Args: map[string]any{"name": "raidsim"},
+	}); err != nil {
+		return err
+	}
+	if err := meta(false, tidUser, "user requests"); err != nil {
+		return err
+	}
+	if err := meta(false, tidRecon, "rebuild"); err != nil {
+		return err
+	}
+	for d := 0; d <= maxDisk; d++ {
+		if err := meta(false, tidDisk0+d, fmt.Sprintf("disk %d", d)); err != nil {
+			return err
+		}
+	}
+	for i := range t.Spans() {
+		sp := &t.spans[i]
+		args := map[string]any{"id": sp.ID, "trace": sp.Trace}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent
+		}
+		if sp.Unit >= 0 {
+			args["unit"] = sp.Unit
+		}
+		if err := emit(false, chromeEvent{
+			Ph: "X", Pid: 0, Tid: sp.tid(), Name: sp.Name, Cat: sp.Kind,
+			Ts: sp.StartMS * 1000, Dur: (sp.EndMS - sp.StartMS) * 1000,
+			Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

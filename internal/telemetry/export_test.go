@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleTracer builds a small deterministic trace: one measured user read
+// with a lock wait and disk segments, plus one recon cycle.
+func sampleTracer() *Tracer {
+	tr := New()
+	rd := tr.Root("read", KindRead, 42, 10)
+	lk := rd.Child(PhaseLockWait, 10)
+	lk.End(11)
+	rd.Segment(SegQueue, 3, 11, 14)
+	rd.Segment(SegSeek, 3, 14, 16)
+	rd.Segment(SegTransfer, 3, 16, 17)
+	rd.SetMeasured()
+	rd.End(17)
+
+	rc := tr.Root(SpanReconCycle, KindRecon, 100, 12)
+	rc.Segment(SegSeek, 5, 12, 13)
+	rc.End(14)
+	return tr
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	meta := &Meta{C: 21, G: 5, Alpha: 0.2, Mode: "rebuild", Seed: 7}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, spans, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta == nil || *gotMeta != *meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+	want := tr.Spans()
+	if len(spans) != len(want) {
+		t.Fatalf("%d spans read, want %d", len(spans), len(want))
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d differs after round-trip: %+v vs %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+func TestJSONLNoMeta(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteJSONL(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, spans, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatalf("phantom meta parsed from headerless file: %+v", meta)
+	}
+	if len(spans) != sampleTracer().Len() {
+		t.Fatalf("%d spans, want %d", len(spans), sampleTracer().Len())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader("{\"id\":1}\nnot json\n")); err == nil {
+		t.Error("garbage span line accepted")
+	}
+	// Empty input and blank lines are fine: no meta, no spans.
+	meta, spans, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || meta != nil || spans != nil {
+		t.Errorf("blank file: meta=%v spans=%v err=%v, want all nil", meta, spans, err)
+	}
+}
+
+// failAfter errors once n bytes have been written, exercising every writer
+// error return in the exporters.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestExportWriterErrors(t *testing.T) {
+	tr := sampleTracer()
+	meta := &Meta{C: 21, G: 5}
+	// Sweep the failure point across the whole output so every branch that
+	// can observe a write error does, at least once.
+	var full bytes.Buffer
+	if err := tr.WriteJSONL(&full, meta); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n += 37 {
+		if err := tr.WriteJSONL(&failAfter{n: n}, meta); err == nil {
+			t.Fatalf("WriteJSONL with writer failing at byte %d reported no error", n)
+		}
+	}
+	full.Reset()
+	if err := tr.WriteChromeTrace(&full); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n += 37 {
+		if err := tr.WriteChromeTrace(&failAfter{n: n}); err == nil {
+			t.Fatalf("WriteChromeTrace with writer failing at byte %d reported no error", n)
+		}
+	}
+}
+
+// TestChromeTraceRoundTrip parses the Chrome trace through encoding/json
+// and checks the structure Perfetto relies on: a JSON array of events,
+// metadata naming every track, and X events with microsecond timestamps
+// matching the source spans.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	names := map[string]bool{}
+	var xEvents int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		case "X":
+			xEvents++
+			if ev["dur"].(float64) < 0 {
+				t.Errorf("negative duration event: %v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev["ph"])
+		}
+	}
+	if xEvents != tr.Len() {
+		t.Errorf("%d X events, want %d (one per span)", xEvents, tr.Len())
+	}
+	for _, want := range []string{"raidsim", "user requests", "rebuild", "disk 5"} {
+		if !names[want] {
+			t.Errorf("metadata track %q missing (have %v)", want, names)
+		}
+	}
+	// Spot-check one event's times: the root read span is 10–17 ms, i.e.
+	// ts 10000 µs, dur 7000 µs on the user track.
+	found := false
+	for _, ev := range events {
+		if ev["ph"] == "X" && ev["name"] == "read" && ev["tid"].(float64) == tidUser {
+			found = true
+			if ev["ts"].(float64) != 10000 || ev["dur"].(float64) != 7000 {
+				t.Errorf("root read event times: ts=%v dur=%v, want 10000/7000", ev["ts"], ev["dur"])
+			}
+		}
+	}
+	if !found {
+		t.Error("root read event missing from chrome trace")
+	}
+}

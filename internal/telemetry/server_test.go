@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"declust/internal/metrics"
+)
+
+func startTestServer(t *testing.T) *LiveServer {
+	t.Helper()
+	s := NewLiveServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != addr {
+		t.Fatalf("Addr() = %q, Start returned %q", s.Addr(), addr)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *LiveServer, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestLiveServerServesSnapshots(t *testing.T) {
+	s := startTestServer(t)
+
+	// Before any publish: empty metrics, zero progress — not errors.
+	if body, _ := get(t, s, "/metrics"); body != "" {
+		t.Errorf("pre-publish /metrics = %q, want empty", body)
+	}
+
+	reg := metrics.NewRegistry()
+	reg.Counter("test_requests").Add(3)
+	s.PublishMetrics(reg)
+	s.PublishProgress(Progress{SimMS: 1500, Mode: "recon", Requests: 42,
+		MeanResponseMS: 21.5, ReconDone: 10, ReconTotal: 100})
+
+	body, ctype := get(t, s, "/metrics")
+	if !strings.Contains(body, "test_requests 3") {
+		t.Errorf("/metrics missing published counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	body, ctype = get(t, s, "/progress")
+	if ctype != "application/json" {
+		t.Errorf("/progress content type %q", ctype)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if p.SimMS != 1500 || p.Mode != "recon" || p.Requests != 42 || p.ReconDone != 10 {
+		t.Errorf("/progress = %+v", p)
+	}
+
+	// pprof is mounted.
+	if body, _ := get(t, s, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestLiveServerSweepCounters(t *testing.T) {
+	s := startTestServer(t)
+	s.SweepStart(4)
+	s.SweepPointDone()
+	s.SweepPointDone()
+	// A progress publish from a running point must not reset the counters.
+	s.PublishProgress(Progress{SimMS: 10})
+	body, _ := get(t, s, "/progress")
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.SweepDone != 2 || p.SweepTotal != 4 || p.SimMS != 10 {
+		t.Errorf("sweep progress = %+v, want done 2/4 with sim 10", p)
+	}
+}
+
+// TestLiveServerConcurrentScrape hammers the server from scraper goroutines
+// while a publisher rewrites both snapshots — the data-race test (run under
+// -race) for the snapshot-under-mutex bridge.
+func TestLiveServerConcurrentScrape(t *testing.T) {
+	s := startTestServer(t)
+	reg := metrics.NewRegistry()
+	c := reg.Counter("ops")
+
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Add(1)
+			s.PublishMetrics(reg)
+			s.PublishProgress(Progress{SimMS: float64(i), Requests: i})
+			if i%16 == 0 {
+				s.SweepPointDone()
+			}
+		}
+	}()
+
+	const scrapers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, scrapers)
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				for _, path := range []string{"/metrics", "/progress"} {
+					resp, err := http.Get("http://" + s.Addr() + path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, err = io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("GET %s: %s", path, resp.Status)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-pubDone
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestLiveServerStartErrors(t *testing.T) {
+	s := NewLiveServer()
+	if _, err := s.Start("256.256.256.256:0"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if s.Addr() != "" {
+		t.Errorf("Addr() after failed start = %q", s.Addr())
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close before Start: %v", err)
+	}
+}

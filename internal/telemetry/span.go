@@ -1,0 +1,158 @@
+// Package telemetry is the simulator's request-lifecycle tracing layer: a
+// span tracer threaded through core, array and disk so every user access
+// decomposes into causally attributed phases (arrival queueing, stripe
+// lock wait, parity pre-reads and commits, on-the-fly reconstruction, and
+// per-disk queue/seek/rotate/transfer segments), plus a live telemetry
+// HTTP server for watching long runs.
+//
+// Like internal/metrics, the package follows the nil-receiver no-op idiom:
+// a nil *Tracer hands out nil *Spans, and every Span method is safe and
+// free on nil, so the hot paths carry one pointer field and pay only nil
+// checks — no allocations, no branches taken — when tracing is off.
+//
+// The simulator is single-threaded and spans are stamped with simulated
+// time, so a run with the same seed and configuration produces the same
+// span IDs in the same order: exports are byte-identical.
+package telemetry
+
+// Span names emitted by the simulator. Disk segment names are the leaves
+// the attribution analysis sums; the rest label lifecycle phases.
+const (
+	// Disk segments (Disk >= 0).
+	SegQueue    = "disk-queue" // time waiting in the drive's scheduler queue
+	SegSeek     = "seek"       // arm movement
+	SegRotate   = "rotate"     // rotational positioning
+	SegTransfer = "transfer"   // sectors under the head
+	SegCacheHit = "cache-hit"  // served from the track read-ahead buffer
+	SegTimeout  = "timeout"    // drive occupied by a transient-fault stall
+
+	// Array phases.
+	PhaseLockWait  = "lock-wait"       // stripe lock acquisition wait
+	PhasePreread   = "preread"         // read-modify-write pre-reads
+	PhaseCommit    = "commit"          // data+parity commit writes
+	PhaseMirror    = "mirror-write"    // G=2 twin writes
+	PhaseSWPreread = "sw-preread"      // small-write companion read + data write
+	PhaseSWCommit  = "sw-commit"       // small-write parity commit
+	PhaseOTF       = "otf-reconstruct" // degraded read rebuilt from survivors
+	PhasePiggyback = "piggyback-write" // OTF result written to the replacement
+	PhaseFold      = "fold-parity"     // degraded write folded into parity
+	PhaseDataWrite = "data-write"      // lost-parity single-access write
+	PhaseReconRead = "read-survivors"  // reconstruction cycle read phase
+	PhaseReconWrit = "write-back"      // reconstruction cycle write phase
+
+	// Root names for non-user traces.
+	SpanReconCycle = "recon-cycle" // one reconstruction sweep cycle
+
+	// Root kinds (Span.Kind); children inherit their root's kind, which is
+	// how the attribution analysis separates user load from rebuild load.
+	KindRead  = "read"
+	KindWrite = "write"
+	KindRecon = "recon"
+)
+
+// Span is one traced interval. While open it is a mutable handle; End
+// copies it into the tracer's completed-span log. IDs are assigned from a
+// per-tracer counter in creation order, which is deterministic for a
+// deterministic simulation.
+type Span struct {
+	tr       *Tracer
+	ID       uint64  `json:"id"`
+	Parent   uint64  `json:"parent"` // 0 for roots
+	Trace    uint64  `json:"trace"`  // root span's ID
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`     // KindRead/KindWrite/KindRecon
+	Disk     int     `json:"disk"`     // drive slot for segments; -1 otherwise
+	Unit     int64   `json:"unit"`     // logical data unit (or recon offset); -1 when n/a
+	StartMS  float64 `json:"start_ms"` // simulated time
+	EndMS    float64 `json:"end_ms"`   //
+	Measured bool    `json:"measured"` // root arrived inside the measurement window
+}
+
+// Tracer accumulates completed spans in End order. The zero value is
+// ready; nil is the disabled tracer.
+type Tracer struct {
+	nextID uint64
+	spans  []Span
+}
+
+// New returns an enabled tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Root opens a top-level span: one user request or one reconstruction
+// cycle. Returns nil (a valid no-op span) when t is nil.
+func (t *Tracer) Root(name, kind string, unit int64, startMS float64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	return &Span{
+		tr: t, ID: t.nextID, Trace: t.nextID,
+		Name: name, Kind: kind, Disk: -1, Unit: unit, StartMS: startMS,
+	}
+}
+
+// Child opens a phase span under s, inheriting its kind, trace and unit.
+func (s *Span) Child(name string, startMS float64) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.nextID++
+	return &Span{
+		tr: t, ID: t.nextID, Parent: s.ID, Trace: s.Trace,
+		Name: name, Kind: s.Kind, Disk: -1, Unit: s.Unit, StartMS: startMS,
+	}
+}
+
+// Segment records an already-finished child interval in one call — the
+// disk layer learns a request's queue/seek/rotate/transfer boundaries only
+// at completion time, after the fact. Zero-length segments are recorded;
+// callers skip them when they carry no information.
+func (s *Span) Segment(name string, diskSlot int, startMS, endMS float64) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.nextID++
+	t.spans = append(t.spans, Span{
+		ID: t.nextID, Parent: s.ID, Trace: s.Trace,
+		Name: name, Kind: s.Kind, Disk: diskSlot, Unit: s.Unit,
+		StartMS: startMS, EndMS: endMS,
+	})
+}
+
+// SetMeasured marks the span as arriving inside the measurement window;
+// the attribution analysis scores only measured traces. Call before End.
+func (s *Span) SetMeasured() {
+	if s != nil {
+		s.Measured = true
+	}
+}
+
+// End closes the span at endMS and appends it to the tracer's log.
+func (s *Span) End(endMS float64) {
+	if s == nil {
+		return
+	}
+	s.EndMS = endMS
+	sp := *s
+	sp.tr = nil
+	s.tr.spans = append(s.tr.spans, sp)
+}
+
+// Spans returns the completed spans in completion order. The slice is the
+// tracer's own backing store; callers must not mutate it.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}

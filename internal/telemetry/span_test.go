@@ -1,0 +1,100 @@
+package telemetry
+
+import "testing"
+
+func TestNilTracerIsFreeNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root("read", KindRead, 7, 1.0)
+	if sp != nil {
+		t.Fatalf("nil tracer handed out a real span: %+v", sp)
+	}
+	// Every method on the nil span must be a safe no-op: this is the whole
+	// contract that lets instrumented code call unconditionally.
+	child := sp.Child(PhaseLockWait, 2.0)
+	if child != nil {
+		t.Fatalf("nil span handed out a real child: %+v", child)
+	}
+	sp.Segment(SegSeek, 3, 1.0, 2.0)
+	sp.SetMeasured()
+	sp.End(5.0)
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatalf("nil tracer accumulated spans: %d", tr.Len())
+	}
+
+	// And it must be free: zero allocations on the whole disabled chain.
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Root("write", KindWrite, 1, 0)
+		p := s.Child(PhasePreread, 0)
+		p.Segment(SegQueue, 0, 0, 1)
+		p.End(1)
+		s.SetMeasured()
+		s.End(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+func TestSpanIDsAreCreationOrdered(t *testing.T) {
+	tr := New()
+	root := tr.Root("read", KindRead, 3, 10)
+	child := root.Child(PhaseLockWait, 10)
+	root.Segment(SegQueue, 4, 10, 12)
+	child.End(12)
+	root.SetMeasured()
+	root.End(15)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans recorded, want 3 (segment, child, root)", len(spans))
+	}
+	// Creation order: root=1, child=2, segment=3. Completion order: the
+	// segment records immediately, the child ends next, the root last.
+	seg, ch, rt := spans[0], spans[1], spans[2]
+	if seg.ID != 3 || seg.Name != SegQueue || seg.Disk != 4 || seg.Parent != root.ID {
+		t.Errorf("segment span wrong: %+v", seg)
+	}
+	if ch.ID != 2 || ch.Parent != 1 || ch.Trace != 1 || ch.Kind != KindRead || ch.Unit != 3 {
+		t.Errorf("child span wrong: %+v", ch)
+	}
+	if rt.ID != 1 || rt.Parent != 0 || rt.Trace != 1 || !rt.Measured || rt.EndMS != 15 {
+		t.Errorf("root span wrong: %+v", rt)
+	}
+	if ch.Measured || seg.Measured {
+		t.Error("SetMeasured leaked onto non-root spans")
+	}
+}
+
+func TestEndCopiesSpan(t *testing.T) {
+	tr := New()
+	sp := tr.Root("write", KindWrite, 0, 1)
+	sp.End(2)
+	sp.Name = "mutated-after-end"
+	if got := tr.Spans()[0].Name; got != "write" {
+		t.Fatalf("recorded span aliases the live handle: name %q", got)
+	}
+	if tr.Spans()[0].tr != nil {
+		t.Fatal("recorded span retains a tracer pointer")
+	}
+}
+
+func TestTwoTracersSameProgramSameIDs(t *testing.T) {
+	make1 := func() []Span {
+		tr := New()
+		for i := 0; i < 5; i++ {
+			sp := tr.Root("read", KindRead, int64(i), float64(i))
+			sp.Segment(SegTransfer, i%2, float64(i), float64(i)+1)
+			sp.End(float64(i) + 2)
+		}
+		return tr.Spans()
+	}
+	a, b := make1(), make1()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
