@@ -1,16 +1,17 @@
 GO ?= go
 
 # The perf-gate benchmarks: the end-to-end fault-free pair (allocations and
-# events/req are part of the contract) plus the event-engine microbenches.
-BENCH_PATTERN ?= FaultFree|Schedule
-BENCH_PKGS ?= . ./internal/sim
+# events/req are part of the contract), the event-engine microbenches, and
+# the real-data store's fault-free/degraded/rebuilding throughput trio.
+BENCH_PATTERN ?= FaultFree|Schedule|Store
+BENCH_PKGS ?= . ./internal/sim ./internal/store
 
 # Static-analysis tool versions, pinned so lint results are reproducible;
 # `go run pkg@version` fetches them on demand — no global install needed.
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race vet fmt-check fault-smoke lint cover verify clean
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -51,6 +52,12 @@ sweep-race:
 telemetry-race:
 	$(GO) test -race ./internal/telemetry/... ./cmd/tracestat/... ./cmd/raidsim/...
 
+# Race pass over the real-data storage engine: concurrent clients driven
+# through live failure, degraded service, and rebuild (internal/store), plus
+# the cmd/store lifecycle driver.
+store-race:
+	$(GO) test -race ./internal/store/... ./cmd/store/...
+
 vet:
 	$(GO) vet ./...
 
@@ -87,9 +94,9 @@ cover:
 		{ echo "coverage $$total% fell below the $$floor% floor"; exit 1; }
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
-# test suite, the fault-injection, parallel-sweep and telemetry race
-# smokes, and a benchmark smoke pass.
-verify: fmt-check vet build race fault-smoke sweep-race telemetry-race bench-smoke
+# test suite, the fault-injection, parallel-sweep, telemetry and storage-
+# engine race smokes, and a benchmark smoke pass.
+verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race bench-smoke
 	@echo "verify: OK"
 
 clean:

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunMemScenario drives the full lifecycle (fill, fault-free load,
+// failure, degraded load, rebuild under load, heal, verify) on a small
+// in-memory array with short phases.
+func TestRunMemScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 7, g: 3, units: 64, unitSize: 512,
+		backend: "mem", clients: 4, phaseSecs: 0.05,
+		readFrac: 0.5, throttle: 50 * time.Microsecond, failDisk: 2,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fault-free", "degraded", "rebuilding", "healed", "verify: OK"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunFileScenario exercises the file-backed backend end to end in a
+// temp directory.
+func TestRunFileScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 5, g: 5, units: 40, unitSize: 512,
+		backend: "file", dir: t.TempDir(), clients: 2, phaseSecs: 0.03,
+		readFrac: 0.5, failDisk: 0,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("output missing verification verdict:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFailDisk checks argument validation.
+func TestRunRejectsBadFailDisk(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 7, g: 3, units: 64, unitSize: 512,
+		backend: "mem", clients: 1, phaseSecs: 0.01, failDisk: 7,
+	}
+	if err := run(cfg, &out); err == nil {
+		t.Fatal("expected error for out-of-range -fail")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/sim"
+	"declust/internal/store"
 	"declust/internal/telemetry"
 	"declust/internal/trace"
 	"io"
@@ -278,6 +279,64 @@ type ScrubStats = array.ScrubStats
 // LifecycleReport fault fields and SimConfig fault fields (FaultSeed,
 // LSERatePerGBHour, TransientRate, ScrubIntervalMS) drive the injector in
 // internal/fault; see also cmd/raidsim's -lse-rate family of flags.
+
+// Store is a real (non-simulated-time) declustered storage engine: the
+// same parity layouts serving actual bytes to concurrent goroutines, with
+// XOR parity maintained on the read-modify-write path, on-the-fly
+// reconstruction for degraded reads, and a live Rebuild that restores a
+// replacement disk stripe by stripe under client load. See OpenStore.
+type Store = store.Store
+
+// StoreConfig configures a Store's capacity, unit size, backends, and
+// rebuild throttle; OpenStore fills its Layout from (c, g).
+type StoreConfig = store.Config
+
+// StoreDisk is one pluggable disk backend of a Store (in-memory via
+// NewMemDisk, one file per disk via OpenFileDisk, or any user
+// implementation).
+type StoreDisk = store.Disk
+
+// StoreStats counts store engine activity (reads, writes, degraded
+// reads, folded/redirected writes, rebuilt units).
+type StoreStats = store.Stats
+
+// StoreMode is a Store's failure state.
+type StoreMode = store.Mode
+
+// The store failure states.
+const (
+	StoreHealthy    = store.Healthy
+	StoreDegraded   = store.Degraded
+	StoreRebuilding = store.Rebuilding
+)
+
+// OpenStore builds a storage engine over an array of c disks with parity
+// stripes of g units, selecting the layout exactly as NewMapping does.
+// With cfg.Disks nil the store is in-memory; supply OpenFileDisks
+// backends for a file-backed array.
+func OpenStore(c, g int, cfg StoreConfig) (*Store, error) {
+	if cfg.Layout == nil {
+		m, err := core.NewMapping(c, g, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Layout = m.Layout
+	}
+	return store.New(cfg)
+}
+
+// NewMemDisk returns an in-memory store backend of the given size.
+func NewMemDisk(units int64, unitSize int) StoreDisk { return store.NewMemDisk(units, unitSize) }
+
+// OpenFileDisk opens (creating if necessary) a file-backed store backend.
+func OpenFileDisk(path string, units int64, unitSize int) (StoreDisk, error) {
+	return store.OpenFileDisk(path, units, unitSize)
+}
+
+// OpenFileDisks opens c file-backed store backends under dir.
+func OpenFileDisks(dir string, c int, units int64, unitSize int) ([]StoreDisk, error) {
+	return store.OpenFileDisks(dir, c, units, unitSize)
+}
 
 // NewIdleArray builds an array for enumeration-style analyses — no
 // workload runs and no simulated time passes. scale divides the IBM 0661

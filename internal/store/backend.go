@@ -1,0 +1,155 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Disk is one backing device: a flat array of fixed-size units addressed
+// by unit offset. Implementations must be safe for concurrent use at
+// distinct offsets; the engine serializes same-stripe (and therefore
+// same-offset) access through its stripe locks.
+type Disk interface {
+	// ReadUnit fills dst (exactly one unit) with the unit at off.
+	ReadUnit(off int64, dst []byte) error
+	// WriteUnit stores src (exactly one unit) at off.
+	WriteUnit(off int64, src []byte) error
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// ErrDiskFailed is returned by I/O addressed to a disk slot that has been
+// failed with Store.Fail. Seeing it surface from a Store method indicates
+// an engine bug: the engine routes around failed slots.
+var ErrDiskFailed = errors.New("store: disk failed")
+
+// memDisk is an in-memory backend: one contiguous byte slice.
+type memDisk struct {
+	unitSize int
+	units    int64
+	data     []byte
+}
+
+// NewMemDisk returns an in-memory Disk holding units fixed-size blocks,
+// zero-filled.
+func NewMemDisk(units int64, unitSize int) Disk {
+	return &memDisk{unitSize: unitSize, units: units, data: make([]byte, units*int64(unitSize))}
+}
+
+func (d *memDisk) bounds(off int64, n int) error {
+	if off < 0 || off >= d.units {
+		return fmt.Errorf("store: unit offset %d out of range [0,%d)", off, d.units)
+	}
+	if n != d.unitSize {
+		return fmt.Errorf("store: buffer is %d bytes, unit size is %d", n, d.unitSize)
+	}
+	return nil
+}
+
+func (d *memDisk) ReadUnit(off int64, dst []byte) error {
+	if err := d.bounds(off, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.data[off*int64(d.unitSize):])
+	return nil
+}
+
+func (d *memDisk) WriteUnit(off int64, src []byte) error {
+	if err := d.bounds(off, len(src)); err != nil {
+		return err
+	}
+	copy(d.data[off*int64(d.unitSize):], src)
+	return nil
+}
+
+func (d *memDisk) Close() error { return nil }
+
+// fileDisk is a file-backed backend: one flat file per disk, the unit at
+// offset o stored at byte o·unitSize. Writes go through the OS page cache
+// (no per-write fsync); call Sync for durability points.
+type fileDisk struct {
+	unitSize int
+	units    int64
+	f        *os.File
+}
+
+// OpenFileDisk opens (creating and sizing if necessary) a file-backed
+// Disk at path holding units fixed-size blocks.
+func OpenFileDisk(path string, units int64, unitSize int) (Disk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := units * int64(unitSize)
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	} else if fi.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &fileDisk{unitSize: unitSize, units: units, f: f}, nil
+}
+
+// OpenFileDisks opens C file-backed disks under dir, named disk0000.dat
+// onward. On error, disks opened so far are closed.
+func OpenFileDisks(dir string, c int, units int64, unitSize int) ([]Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	disks := make([]Disk, 0, c)
+	for i := 0; i < c; i++ {
+		d, err := OpenFileDisk(filepath.Join(dir, fmt.Sprintf("disk%04d.dat", i)), units, unitSize)
+		if err != nil {
+			for _, prev := range disks {
+				prev.Close()
+			}
+			return nil, err
+		}
+		disks = append(disks, d)
+	}
+	return disks, nil
+}
+
+func (d *fileDisk) bounds(off int64, n int) error {
+	if off < 0 || off >= d.units {
+		return fmt.Errorf("store: unit offset %d out of range [0,%d)", off, d.units)
+	}
+	if n != d.unitSize {
+		return fmt.Errorf("store: buffer is %d bytes, unit size is %d", n, d.unitSize)
+	}
+	return nil
+}
+
+func (d *fileDisk) ReadUnit(off int64, dst []byte) error {
+	if err := d.bounds(off, len(dst)); err != nil {
+		return err
+	}
+	_, err := d.f.ReadAt(dst, off*int64(d.unitSize))
+	return err
+}
+
+func (d *fileDisk) WriteUnit(off int64, src []byte) error {
+	if err := d.bounds(off, len(src)); err != nil {
+		return err
+	}
+	_, err := d.f.WriteAt(src, off*int64(d.unitSize))
+	return err
+}
+
+// Sync flushes buffered writes to stable storage.
+func (d *fileDisk) Sync() error { return d.f.Sync() }
+
+func (d *fileDisk) Close() error { return d.f.Close() }
+
+// deadDisk occupies a failed slot so that any I/O mistakenly routed to it
+// fails loudly instead of touching stale bytes.
+type deadDisk struct{}
+
+func (deadDisk) ReadUnit(int64, []byte) error  { return ErrDiskFailed }
+func (deadDisk) WriteUnit(int64, []byte) error { return ErrDiskFailed }
+func (deadDisk) Close() error                  { return nil }

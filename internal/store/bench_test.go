@@ -1,0 +1,114 @@
+package store
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// benchStore builds the paper's 21-disk, G=5 (α=0.2) array over
+// in-memory backends, pre-filled, returning the store and its disk
+// handles (so rebuild benchmarks can recycle detached disks as
+// replacements instead of allocating per cycle).
+func benchStore(b *testing.B) (*Store, []Disk) {
+	b.Helper()
+	lay := testLayout(b, 21, 5)
+	const units, us = 210, 4096
+	disks := make([]Disk, lay.Disks())
+	for i := range disks {
+		disks[i] = NewMemDisk(units, us)
+	}
+	s, err := New(Config{Layout: lay, UnitsPerDisk: units, UnitSize: us, Disks: disks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	buf := make([]byte, us)
+	for n := int64(0); n < s.DataUnits(); n++ {
+		fill(buf, n, 1)
+		if err := s.WriteUnit(n, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, disks
+}
+
+// runClients drives the store from GOMAXPROCS client goroutines at the
+// given read fraction and reports unit throughput.
+func runClients(b *testing.B, s *Store, readFrac float64) {
+	b.Helper()
+	total := s.DataUnits()
+	readCut := int64(readFrac * float64(1<<32))
+	var seed atomic.Int64
+	b.SetBytes(int64(s.UnitSize()))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		buf := make([]byte, s.UnitSize())
+		for pb.Next() {
+			n := rng.Int63n(total)
+			if int64(rng.Uint32()) < readCut {
+				if err := s.ReadUnit(n, buf); err != nil {
+					panic(err)
+				}
+			} else {
+				fill(buf, n, 2)
+				if err := s.WriteUnit(n, buf); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+}
+
+// BenchmarkStoreFaultFreeOps measures the healthy array under the
+// paper's 50/50 read/write mix from GOMAXPROCS concurrent clients.
+func BenchmarkStoreFaultFreeOps(b *testing.B) {
+	s, _ := benchStore(b)
+	runClients(b, s, 0.5)
+}
+
+// BenchmarkStoreDegradedOps measures the same mix with one disk failed
+// and no replacement: lost reads pay G−1-wide on-the-fly XOR
+// reconstruction, lost writes fold into parity.
+func BenchmarkStoreDegradedOps(b *testing.B) {
+	s, _ := benchStore(b)
+	if err := s.Fail(7); err != nil {
+		b.Fatal(err)
+	}
+	runClients(b, s, 0.5)
+}
+
+// BenchmarkStoreRebuildingOps measures the mix while the array is
+// continuously failing and rebuilding in the background — the paper's
+// continuous-operation scenario as a throughput number.
+func BenchmarkStoreRebuildingOps(b *testing.B) {
+	s, disks := benchStore(b)
+	const victim = 7
+	spare := NewMemDisk(s.unitsPerDisk, s.UnitSize())
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		cur := disks[victim]
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Fail(victim); err != nil {
+				panic(err)
+			}
+			if err := s.Rebuild(spare); err != nil {
+				panic(err)
+			}
+			// The detached disk becomes the next blank replacement.
+			cur, spare = spare, cur
+		}
+	}()
+	runClients(b, s, 0.5)
+	close(stop)
+	<-churnDone
+}

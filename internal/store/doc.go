@@ -1,0 +1,30 @@
+// Package store is a real (non-simulated-time) declustered storage
+// engine: the paper's parity-declustered layout serving actual bytes to
+// concurrent goroutines, rather than simulated timings to an event loop.
+//
+// A Store stripes fixed-size units over C disk backends using the same
+// internal/layout mappings as the simulator (block-design declustering or
+// left-symmetric RAID 5), maintains XOR parity on the four-access
+// read-modify-write path, and stays available through a single disk
+// failure: reads of lost units reconstruct on the fly from the G−1
+// survivors, writes to lost units fold into the parity unit, and a
+// background Rebuild sweep regenerates the failed disk's contents onto a
+// replacement stripe by stripe while client goroutines keep issuing
+// requests.
+//
+// Concurrency model. Every operation runs under its parity stripe's lock
+// (a striped RWMutex table): reads share, parity updates and rebuild
+// exclude. Failure-state transitions (Fail, Replace, the heal at the end
+// of Rebuild) publish an immutable state snapshot through an atomic
+// pointer; operations load the snapshot after acquiring their stripe
+// lock, so the lock's happens-before edge guarantees each stripe's
+// readers observe at least the state of the last writer to that stripe.
+// An operation holds at most one stripe lock, so the engine cannot
+// deadlock.
+//
+// Backends implement the Disk interface: NewMemDisk (a byte slice per
+// disk) and OpenFileDisk (one flat file per disk) are provided; anything
+// addressable by (unit offset → fixed-size block) can slot in, which is
+// what keeps mirrored/hybrid organizations implementable later without
+// touching the engine.
+package store

@@ -1,0 +1,27 @@
+package store
+
+import "sync"
+
+// nStripeLocks is the size of the striped lock table. Stripes hash onto
+// locks by index modulo this count, so two distinct stripes may share a
+// lock — coarser, never incorrect. A power of two keeps the map a mask.
+const nStripeLocks = 1024
+
+// lockTable serializes operations per parity stripe with real mutexes
+// (unlike the simulator's single-threaded FIFO queue). Readers — plain
+// unit reads and on-the-fly reconstructions, which only observe stripe
+// content — share; writers and the rebuild sweep, which update parity or
+// the replacement, exclude. Every operation locks at most one stripe at a
+// time (range operations go stripe by stripe), so there is no deadlock.
+type lockTable struct {
+	locks [nStripeLocks]sync.RWMutex
+}
+
+func (t *lockTable) of(stripe int64) *sync.RWMutex {
+	return &t.locks[uint64(stripe)&(nStripeLocks-1)]
+}
+
+func (t *lockTable) rlock(stripe int64)  { t.of(stripe).RLock() }
+func (t *lockTable) runlock(s int64)     { t.of(s).RUnlock() }
+func (t *lockTable) lock(stripe int64)   { t.of(stripe).Lock() }
+func (t *lockTable) unlock(stripe int64) { t.of(stripe).Unlock() }

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"fmt"
+
+	"declust/internal/layout"
+)
+
+// checkRange validates a multi-unit request and returns its unit count.
+func (s *Store) checkRange(start int64, buf []byte) (int64, error) {
+	if len(buf) == 0 || len(buf)%s.unitSize != 0 {
+		return 0, fmt.Errorf("store: range buffer of %d bytes is not a positive multiple of the %d-byte unit size",
+			len(buf), s.unitSize)
+	}
+	n := int64(len(buf) / s.unitSize)
+	if start < 0 || start+n > s.dataUnits {
+		return 0, fmt.Errorf("store: units [%d,%d) out of range [0,%d)", start, start+n, s.dataUnits)
+	}
+	return n, nil
+}
+
+// ReadRange reads the logical data units [start, start+len(dst)/UnitSize)
+// into dst, taking each stripe's lock once for all of its units.
+func (s *Store) ReadRange(start int64, dst []byte) error {
+	n, err := s.checkRange(start, dst)
+	if err != nil {
+		return err
+	}
+	perStripe := int64(s.lay.G() - 1)
+	for u := start; u < start+n; {
+		stripe := u / perStripe
+		end := (stripe + 1) * perStripe
+		if end > start+n {
+			end = start + n
+		}
+		s.locks.rlock(stripe)
+		for ; u < end && err == nil; u++ {
+			loc := s.mapper.Loc(u)
+			err = s.readLocked(stripe, loc, dst[(u-start)*int64(s.unitSize):(u-start+1)*int64(s.unitSize)])
+		}
+		s.locks.runlock(stripe)
+		if err != nil {
+			return err
+		}
+	}
+	s.reads.Add(n)
+	return nil
+}
+
+// WriteRange writes src over the logical data units starting at start,
+// one parity update per touched stripe. A segment covering a whole stripe
+// uses the large-write optimization (parity from the new contents, no
+// pre-reads); partial segments read-modify-write.
+func (s *Store) WriteRange(start int64, src []byte) error {
+	n, err := s.checkRange(start, src)
+	if err != nil {
+		return err
+	}
+	perStripe := int64(s.lay.G() - 1)
+	locs := make([]layout.Loc, 0, perStripe)
+	datas := make([][]byte, 0, perStripe)
+	for u := start; u < start+n; {
+		stripe := u / perStripe
+		end := (stripe + 1) * perStripe
+		if end > start+n {
+			end = start + n
+		}
+		locs, datas = locs[:0], datas[:0]
+		for v := u; v < end; v++ {
+			locs = append(locs, s.mapper.Loc(v))
+			datas = append(datas, src[(v-start)*int64(s.unitSize):(v-start+1)*int64(s.unitSize)])
+		}
+		s.locks.lock(stripe)
+		err = s.writeStripeLocked(stripe, locs, datas)
+		s.locks.unlock(stripe)
+		if err != nil {
+			return err
+		}
+		u = end
+	}
+	s.writes.Add(n)
+	return nil
+}

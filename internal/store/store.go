@@ -1,0 +1,627 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"declust/internal/layout"
+)
+
+// Config describes a Store. Layout is required (the facade builds one
+// from C and G via the block-design selector); UnitsPerDisk is rounded
+// down to whole allocation periods.
+type Config struct {
+	// Layout is the parity layout mapping stripes to disks; its Disks()
+	// fixes the array width C.
+	Layout layout.Layout
+	// UnitsPerDisk is the raw per-disk capacity in units (default 1024).
+	UnitsPerDisk int64
+	// UnitSize is the unit size in bytes (default 4096).
+	UnitSize int
+	// Disks optionally supplies the C backends (index = disk number);
+	// nil builds in-memory disks. Each must hold at least the usable
+	// unit count.
+	Disks []Disk
+	// RebuildThrottle pauses the rebuild sweep between units, trading
+	// rebuild time for user response — the paper's §9 throttling knob,
+	// and the way tests hold the rebuild window open.
+	RebuildThrottle time.Duration
+}
+
+// Mode is the store's failure state.
+type Mode int
+
+const (
+	// Healthy: all C disks in service.
+	Healthy Mode = iota
+	// Degraded: one disk failed, no replacement installed; lost reads
+	// reconstruct on the fly, lost writes fold into parity.
+	Degraded
+	// Rebuilding: a replacement is installed and the sweep is copying
+	// reconstructed units onto it under live load.
+	Rebuilding
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Rebuilding:
+		return "rebuilding"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Stats counts engine activity since creation. Counters are cumulative
+// and monotone; read them with Store.Stats.
+type Stats struct {
+	// Reads and Writes count completed user unit operations.
+	Reads, Writes int64
+	// DegradedReads counts reads served by on-the-fly XOR reconstruction
+	// from the G−1 survivors.
+	DegradedReads int64
+	// FoldedWrites counts writes to lost units absorbed by the parity
+	// unit (no replacement installed, or stripe not yet rebuilt).
+	FoldedWrites int64
+	// RedirectedWrites counts lost-unit writes also committed directly
+	// to the replacement (which counts as reconstruction).
+	RedirectedWrites int64
+	// RebuiltUnits counts units regenerated onto a replacement, by the
+	// sweep or by write redirection.
+	RebuiltUnits int64
+	// Rebuilds counts completed rebuild sweeps (heals).
+	Rebuilds int64
+}
+
+// diskState is an immutable failure-state snapshot, published through an
+// atomic pointer. disks is never mutated after publication; rebuilt is
+// element-mutable under the owning stripe's lock.
+type diskState struct {
+	disks   []Disk
+	failed  int    // -1 when healthy
+	repl    Disk   // replacement being rebuilt onto; nil before install
+	rebuilt []bool // failed disk offsets already on the replacement
+}
+
+// lost reports whether loc's contents are unreadable at its home slot and
+// not yet available on a replacement.
+func (st *diskState) lost(loc layout.Loc) bool {
+	return loc.Disk == st.failed && !(st.repl != nil && st.rebuilt[loc.Offset])
+}
+
+// disk resolves loc to the backend serving it; loc must not be lost.
+func (st *diskState) disk(loc layout.Loc) Disk {
+	if loc.Disk == st.failed {
+		return st.repl
+	}
+	return st.disks[loc.Disk]
+}
+
+// Store is a goroutine-safe declustered block store. See the package
+// comment for the concurrency model.
+type Store struct {
+	lay          layout.Layout
+	mapper       layout.StripeIndexMapper
+	unitSize     int
+	unitsPerDisk int64 // usable units per disk (whole periods)
+	numStripes   int64
+	dataUnits    int64
+	throttle     time.Duration
+
+	locks lockTable
+	st    atomic.Pointer[diskState]
+
+	admin      sync.Mutex // serializes Fail / Rebuild install / heal
+	rebuilding atomic.Bool
+	detached   []Disk // failed backends, closed with the store
+	closed     bool
+
+	bufs sync.Pool
+
+	reads, writes, degradedReads   atomic.Int64
+	foldedWrites, redirectedWrites atomic.Int64
+	rebuiltUnits, rebuilds         atomic.Int64
+	rebuiltNow                     atomic.Int64 // progress within the current failure
+}
+
+// New builds a Store over cfg.Layout. With cfg.Disks nil it creates
+// in-memory backends; otherwise it adopts (and will Close) the supplied
+// ones.
+func New(cfg Config) (*Store, error) {
+	if cfg.Layout == nil {
+		return nil, fmt.Errorf("store: Config.Layout is required (use declust.OpenStore to build one from C and G)")
+	}
+	if cfg.UnitSize == 0 {
+		cfg.UnitSize = 4096
+	}
+	if cfg.UnitSize < 8 || cfg.UnitSize%8 != 0 {
+		return nil, fmt.Errorf("store: unit size %d must be a positive multiple of 8", cfg.UnitSize)
+	}
+	if cfg.UnitsPerDisk == 0 {
+		cfg.UnitsPerDisk = 1024
+	}
+	l := cfg.Layout
+	usable := layout.UsableUnitsPerDisk(l, cfg.UnitsPerDisk)
+	if usable == 0 {
+		return nil, fmt.Errorf("store: %d units per disk is less than one allocation period (%d)",
+			cfg.UnitsPerDisk, l.UnitsPerDiskPerPeriod())
+	}
+	c := l.Disks()
+	disks := cfg.Disks
+	if disks == nil {
+		disks = make([]Disk, c)
+		for i := range disks {
+			disks[i] = NewMemDisk(usable, cfg.UnitSize)
+		}
+	} else if len(disks) != c {
+		return nil, fmt.Errorf("store: %d disks supplied, layout needs %d", len(disks), c)
+	}
+	s := &Store{
+		lay:          l,
+		mapper:       layout.StripeIndexMapper{L: l},
+		unitSize:     cfg.UnitSize,
+		unitsPerDisk: usable,
+		numStripes:   layout.UsableStripes(l, cfg.UnitsPerDisk),
+		dataUnits:    layout.DataUnits(l, cfg.UnitsPerDisk),
+		throttle:     cfg.RebuildThrottle,
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, s.unitSize)
+		return &b
+	}
+	s.st.Store(&diskState{disks: disks, failed: -1})
+	return s, nil
+}
+
+func (s *Store) getBuf() *[]byte  { return s.bufs.Get().(*[]byte) }
+func (s *Store) putBuf(b *[]byte) { s.bufs.Put(b) }
+
+// DataUnits returns the store's logical capacity in data units.
+func (s *Store) DataUnits() int64 { return s.dataUnits }
+
+// UnitSize returns the unit size in bytes.
+func (s *Store) UnitSize() int { return s.unitSize }
+
+// Disks returns C, the array width.
+func (s *Store) Disks() int { return s.lay.Disks() }
+
+// Mode reports the current failure state.
+func (s *Store) Mode() Mode {
+	st := s.st.Load()
+	switch {
+	case st.failed == -1:
+		return Healthy
+	case st.repl == nil:
+		return Degraded
+	default:
+		return Rebuilding
+	}
+}
+
+// FailedDisk returns the failed disk number, or -1 when healthy.
+func (s *Store) FailedDisk() int { return s.st.Load().failed }
+
+// Stats returns a snapshot of the engine counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Reads:            s.reads.Load(),
+		Writes:           s.writes.Load(),
+		DegradedReads:    s.degradedReads.Load(),
+		FoldedWrites:     s.foldedWrites.Load(),
+		RedirectedWrites: s.redirectedWrites.Load(),
+		RebuiltUnits:     s.rebuiltUnits.Load(),
+		Rebuilds:         s.rebuilds.Load(),
+	}
+}
+
+// RebuildProgress reports units restored within the current failure (by
+// sweep or write redirection) out of the failed disk's usable units. With
+// no failure in progress it reports the last failure's final state.
+func (s *Store) RebuildProgress() (done, total int64) {
+	return s.rebuiltNow.Load(), s.unitsPerDisk
+}
+
+func (s *Store) checkUnit(n int64, buf []byte) error {
+	if n < 0 || n >= s.dataUnits {
+		return fmt.Errorf("store: data unit %d out of range [0,%d)", n, s.dataUnits)
+	}
+	if len(buf) != s.unitSize {
+		return fmt.Errorf("store: buffer is %d bytes, unit size is %d", len(buf), s.unitSize)
+	}
+	return nil
+}
+
+// ReadUnit reads logical data unit n into dst (exactly one unit). Lost
+// units are reconstructed on the fly by XORing the stripe's survivors.
+func (s *Store) ReadUnit(n int64, dst []byte) error {
+	if err := s.checkUnit(n, dst); err != nil {
+		return err
+	}
+	loc := s.mapper.Loc(n)
+	stripe, _ := s.lay.Locate(loc)
+	s.locks.rlock(stripe)
+	err := s.readLocked(stripe, loc, dst)
+	s.locks.runlock(stripe)
+	if err == nil {
+		s.reads.Add(1)
+	}
+	return err
+}
+
+// readLocked reads one unit with (at least) the stripe's read lock held.
+func (s *Store) readLocked(stripe int64, loc layout.Loc, dst []byte) error {
+	st := s.st.Load()
+	if !st.lost(loc) {
+		return st.disk(loc).ReadUnit(loc.Offset, dst)
+	}
+	if err := s.reconstructLocked(st, loc, dst); err != nil {
+		return err
+	}
+	s.degradedReads.Add(1)
+	return nil
+}
+
+// reconstructLocked computes loc's contents into dst as the XOR of its
+// stripe's surviving units. Caller holds the stripe lock.
+func (s *Store) reconstructLocked(st *diskState, loc layout.Loc, dst []byte) error {
+	surv := layout.SurvivingUnits(s.lay, loc)
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	for i, u := range surv {
+		if st.lost(u) {
+			return fmt.Errorf("store: two lost units in one stripe (%v and %v)", loc, u)
+		}
+		if i == 0 {
+			if err := st.disk(u).ReadUnit(u.Offset, dst); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := st.disk(u).ReadUnit(u.Offset, *buf); err != nil {
+			return err
+		}
+		xorInto(dst, *buf)
+	}
+	return nil
+}
+
+// WriteUnit writes src (exactly one unit) to logical data unit n,
+// maintaining parity: the four-access read-modify-write when the stripe
+// is whole, parity folding or replacement redirection when it is not.
+func (s *Store) WriteUnit(n int64, src []byte) error {
+	if err := s.checkUnit(n, src); err != nil {
+		return err
+	}
+	loc := s.mapper.Loc(n)
+	stripe, _ := s.lay.Locate(loc)
+	s.locks.lock(stripe)
+	err := s.writeStripeLocked(stripe, []layout.Loc{loc}, [][]byte{src})
+	s.locks.unlock(stripe)
+	if err == nil {
+		s.writes.Add(1)
+	}
+	return err
+}
+
+// writeStripeLocked commits new contents for one or more data units of a
+// single stripe, updating parity once. Caller holds the stripe's write
+// lock; locs are distinct data-unit locations of this stripe.
+func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byte) error {
+	st := s.st.Load()
+	ploc := layout.ParityLoc(s.lay, stripe)
+
+	if st.lost(ploc) {
+		// Lost parity: there is no parity to maintain, so each write is
+		// a single data access (§7); the rebuild sweep recomputes the
+		// parity unit from data when its turn comes.
+		for i, loc := range locs {
+			if err := st.disks[loc.Disk].WriteUnit(loc.Offset, datas[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Find the stripe's lost data unit, if any, and whether it is being
+	// written. A single-failure-correcting layout puts at most one unit
+	// of a stripe on any disk.
+	lostIdx := -1 // index into locs of a written lost unit
+	var lostLoc layout.Loc
+	haveLost := false
+	if st.failed >= 0 {
+		g := s.lay.G()
+		pp := s.lay.ParityPos(stripe)
+		for j := 0; j < g; j++ {
+			if j == pp {
+				continue
+			}
+			u := s.lay.Unit(stripe, j)
+			if st.lost(u) {
+				lostLoc, haveLost = u, true
+				break
+			}
+		}
+		if haveLost {
+			for i, loc := range locs {
+				if loc == lostLoc {
+					lostIdx = i
+					break
+				}
+			}
+		}
+	}
+
+	pbuf := s.getBuf()
+	defer s.putBuf(pbuf)
+
+	switch {
+	case len(locs) == s.lay.G()-1:
+		// Large-write optimization: the segment covers every data unit
+		// of the stripe, so parity is computed from the new contents
+		// with no pre-reads.
+		copy(*pbuf, datas[0])
+		for _, d := range datas[1:] {
+			xorInto(*pbuf, d)
+		}
+	case haveLost && lostIdx >= 0:
+		// Writing the lost unit: its old contents are unreadable, so the
+		// delta method is unavailable. Fold forward instead: parity
+		// becomes the XOR of every data unit's new contents — written
+		// units contribute their new data, unwritten survivors are read.
+		copy(*pbuf, datas[lostIdx])
+		for i, d := range datas {
+			if i != lostIdx {
+				xorInto(*pbuf, d)
+			}
+		}
+		obuf := s.getBuf()
+		g := s.lay.G()
+		pp := s.lay.ParityPos(stripe)
+		for j := 0; j < g; j++ {
+			if j == pp {
+				continue
+			}
+			u := s.lay.Unit(stripe, j)
+			written := false
+			for _, loc := range locs {
+				if u == loc {
+					written = true
+					break
+				}
+			}
+			if written {
+				continue
+			}
+			if err := st.disk(u).ReadUnit(u.Offset, *obuf); err != nil {
+				s.putBuf(obuf)
+				return err
+			}
+			xorInto(*pbuf, *obuf)
+		}
+		s.putBuf(obuf)
+	default:
+		// Read-modify-write: parity' = parity ⊕ old ⊕ new, folded over
+		// every written unit. All written units are readable here (a
+		// written lost unit takes the branch above).
+		if err := st.disk(ploc).ReadUnit(ploc.Offset, *pbuf); err != nil {
+			return err
+		}
+		obuf := s.getBuf()
+		for i, loc := range locs {
+			if err := st.disk(loc).ReadUnit(loc.Offset, *obuf); err != nil {
+				s.putBuf(obuf)
+				return err
+			}
+			xorInto(*pbuf, *obuf)
+			xorInto(*pbuf, datas[i])
+		}
+		s.putBuf(obuf)
+	}
+
+	// Commit data, then parity. A written lost unit goes to the
+	// replacement when one is installed (write redirection, which counts
+	// as reconstruction); with no replacement it is dropped — parity now
+	// encodes it, which is the fold.
+	for i, loc := range locs {
+		if i == lostIdx {
+			if st.repl != nil {
+				if err := st.repl.WriteUnit(loc.Offset, datas[i]); err != nil {
+					return err
+				}
+				s.markRebuilt(st, loc.Offset)
+				s.redirectedWrites.Add(1)
+			} else {
+				s.foldedWrites.Add(1)
+			}
+			continue
+		}
+		if err := st.disk(loc).WriteUnit(loc.Offset, datas[i]); err != nil {
+			return err
+		}
+	}
+	return st.disk(ploc).WriteUnit(ploc.Offset, *pbuf)
+}
+
+// markRebuilt records (under the stripe lock) that the failed disk's unit
+// at off now lives on the replacement.
+func (s *Store) markRebuilt(st *diskState, off int64) {
+	if !st.rebuilt[off] {
+		st.rebuilt[off] = true
+		s.rebuiltUnits.Add(1)
+		s.rebuiltNow.Add(1)
+	}
+}
+
+// Fail takes disk d out of service: its backend is detached (to be closed
+// with the store) and the slot reads as lost until rebuilt. Only a single
+// concurrent failure is supported — the layout is single-failure-
+// correcting — so failing an already-degraded store is an error.
+func (s *Store) Fail(d int) error {
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	st := s.st.Load()
+	if st.failed != -1 {
+		return fmt.Errorf("store: disk %d already failed; single-failure layout", st.failed)
+	}
+	if d < 0 || d >= len(st.disks) {
+		return fmt.Errorf("store: disk %d out of range [0,%d)", d, len(st.disks))
+	}
+	disks := make([]Disk, len(st.disks))
+	copy(disks, st.disks)
+	s.detached = append(s.detached, disks[d])
+	disks[d] = deadDisk{}
+	s.rebuiltNow.Store(0)
+	s.st.Store(&diskState{
+		disks:   disks,
+		failed:  d,
+		rebuilt: make([]bool, s.unitsPerDisk),
+	})
+	return nil
+}
+
+// Rebuild installs repl as the failed disk's replacement and sweeps the
+// failed disk's units onto it, stripe by stripe under the stripe locks,
+// while user operations continue. Units already redirected by concurrent
+// writes are skipped. On completion the replacement is swapped into the
+// array and the store returns to Healthy. repl must hold at least the
+// usable unit count and should be blank; its prior contents are
+// overwritten.
+func (s *Store) Rebuild(repl Disk) error {
+	if repl == nil {
+		return fmt.Errorf("store: nil replacement disk")
+	}
+	if !s.rebuilding.CompareAndSwap(false, true) {
+		return fmt.Errorf("store: rebuild already in progress")
+	}
+	defer s.rebuilding.Store(false)
+
+	s.admin.Lock()
+	st := s.st.Load()
+	if st.failed == -1 {
+		s.admin.Unlock()
+		return fmt.Errorf("store: no failed disk to rebuild")
+	}
+	st2 := &diskState{disks: st.disks, failed: st.failed, repl: repl, rebuilt: st.rebuilt}
+	s.st.Store(st2)
+	s.admin.Unlock()
+
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	for off := int64(0); off < s.unitsPerDisk; off++ {
+		loc := layout.Loc{Disk: st2.failed, Offset: off}
+		stripe, _ := s.lay.Locate(loc)
+		s.locks.lock(stripe)
+		var err error
+		if !st2.rebuilt[off] {
+			if err = s.reconstructLocked(st2, loc, *buf); err == nil {
+				if err = repl.WriteUnit(off, *buf); err == nil {
+					s.markRebuilt(st2, off)
+				}
+			}
+		}
+		s.locks.unlock(stripe)
+		if err != nil {
+			return fmt.Errorf("store: rebuild of %v: %w", loc, err)
+		}
+		if s.throttle > 0 {
+			time.Sleep(s.throttle)
+		}
+	}
+
+	// Heal: swap the replacement into the slot and return to Healthy.
+	s.admin.Lock()
+	disks := make([]Disk, len(st2.disks))
+	copy(disks, st2.disks)
+	disks[st2.failed] = repl
+	s.st.Store(&diskState{disks: disks, failed: -1})
+	s.admin.Unlock()
+	s.rebuilds.Add(1)
+	return nil
+}
+
+// CheckParity verifies, at quiesce (no operations in flight), that every
+// stripe's parity equation balances: the XOR over all readable units of a
+// whole stripe is zero. Stripes with a lost unit are skipped — their
+// consistency is exactly what degraded reads exercise.
+func (s *Store) CheckParity() error {
+	buf := s.getBuf()
+	acc := s.getBuf()
+	defer s.putBuf(buf)
+	defer s.putBuf(acc)
+	g := s.lay.G()
+	for stripe := int64(0); stripe < s.numStripes; stripe++ {
+		s.locks.rlock(stripe)
+		st := s.st.Load()
+		skip := false
+		for i := range *acc {
+			(*acc)[i] = 0
+		}
+		var err error
+		for j := 0; j < g && err == nil; j++ {
+			u := s.lay.Unit(stripe, j)
+			if st.lost(u) {
+				skip = true
+				break
+			}
+			if err = st.disk(u).ReadUnit(u.Offset, *buf); err == nil {
+				xorInto(*acc, *buf)
+			}
+		}
+		s.locks.runlock(stripe)
+		if err != nil {
+			return err
+		}
+		if skip {
+			continue
+		}
+		for _, b := range *acc {
+			if b != 0 {
+				return fmt.Errorf("store: stripe %d parity inconsistent", stripe)
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases every backend, including detached failed disks. The
+// store must be quiesced; operations after Close have undefined results.
+func (s *Store) Close() error {
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	st := s.st.Load()
+	for _, d := range st.disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if st.repl != nil {
+		if err := st.repl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, d := range s.detached {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// xorInto XORs src into dst in place; lengths are equal unit sizes,
+// which New constrains to multiples of 8.
+func xorInto(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+}
