@@ -11,7 +11,7 @@ BENCH_PKGS ?= . ./internal/sim ./internal/store
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race vet fmt-check fault-smoke lint cover verify clean
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race store-chaos vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -58,6 +58,16 @@ telemetry-race:
 store-race:
 	$(GO) test -race ./internal/store/... ./cmd/store/...
 
+# The chaos invariant under the race detector: 12 workers against
+# fault-injecting backends (transients, latent sector errors, torn writes,
+# read corruption) with a mid-run disk failure and rebuild; every
+# acknowledged write must read back byte-for-byte and parity must end
+# clean. The seed is always printed and, when STORE_CHAOS_DIR is set,
+# written there so CI can upload it as a failure artifact; rerun a failure
+# with CHAOS_SEED=<seed>.
+store-chaos:
+	$(GO) test -race -run 'TestChaos|TestCrash' -count=1 -v ./internal/store/
+
 vet:
 	$(GO) vet ./...
 
@@ -95,8 +105,9 @@ cover:
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
 # test suite, the fault-injection, parallel-sweep, telemetry and storage-
-# engine race smokes, and a benchmark smoke pass.
-verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race bench-smoke
+# engine race smokes, the storage chaos invariant, and a benchmark smoke
+# pass.
+verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race store-chaos bench-smoke
 	@echo "verify: OK"
 
 clean:

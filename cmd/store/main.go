@@ -5,6 +5,14 @@
 //
 //	go run ./cmd/store -c 21 -g 5 -clients 16 -secs 2
 //	go run ./cmd/store -backend file -dir /tmp/declust -units 512
+//	go run ./cmd/store -faults -scrub -chaos-seed 7
+//
+// With -faults the backends inject transient errors, torn writes, read
+// corruption, and latent sector errors (on the doomed disk), and the run
+// additionally scrubs the array before failing the disk and before the
+// final check — the engine's retries, checksums, and self-healing reads
+// must absorb everything. File-backed runs keep a crash-consistency
+// intent log next to the disks and Sync at durability points.
 //
 // Each phase prints its throughput; the final line is the verification
 // verdict. Exit status is nonzero on any corruption or engine error.
@@ -27,16 +35,26 @@ import (
 )
 
 type config struct {
-	c, g      int
-	units     int64
-	unitSize  int
-	backend   string
-	dir       string
-	clients   int
-	phaseSecs float64
-	readFrac  float64
-	throttle  time.Duration
-	failDisk  int
+	c, g          int
+	units         int64
+	unitSize      int
+	backend       string
+	dir           string
+	clients       int
+	phaseSecs     float64
+	readFrac      float64
+	throttle      time.Duration
+	failDisk      int
+	faults        bool
+	transient     float64
+	torn          float64
+	lse           float64
+	corrupt       float64
+	chaosSeed     int64
+	scrub         bool
+	scrubThrottle time.Duration
+	retries       int
+	failThreshold int
 }
 
 func main() {
@@ -52,6 +70,16 @@ func main() {
 	flag.Float64Var(&cfg.readFrac, "read", 0.5, "read fraction of the client mix")
 	flag.DurationVar(&cfg.throttle, "throttle", 0, "rebuild throttle per unit (e.g. 200us)")
 	flag.IntVar(&cfg.failDisk, "fail", 2, "disk to fail")
+	flag.BoolVar(&cfg.faults, "faults", false, "inject faults with default rates (override via -transient etc.)")
+	flag.Float64Var(&cfg.transient, "transient", 0, "per-op transient error rate on every disk")
+	flag.Float64Var(&cfg.torn, "torn", 0, "per-write torn-write rate on every disk")
+	flag.Float64Var(&cfg.lse, "lse", 0, "per-read latent-sector-error rate on the -fail disk")
+	flag.Float64Var(&cfg.corrupt, "corrupt", 0, "per-read transient corruption rate on every disk")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 0, "fault injection seed (0 = from the clock)")
+	flag.BoolVar(&cfg.scrub, "scrub", false, "run a verifying scrub sweep before the final check")
+	flag.DurationVar(&cfg.scrubThrottle, "scrub-throttle", 0, "scrub throttle per stripe (e.g. 100us)")
+	flag.IntVar(&cfg.retries, "retries", 0, "transient-error retries per op (0 = engine default)")
+	flag.IntVar(&cfg.failThreshold, "fail-threshold", 0, "auto-fail a disk after this many persistent errors (0 = off)")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "store:", err)
@@ -76,7 +104,22 @@ func run(cfg config, out io.Writer) error {
 		UnitsPerDisk:    cfg.units,
 		UnitSize:        cfg.unitSize,
 		RebuildThrottle: cfg.throttle,
+		ScrubThrottle:   cfg.scrubThrottle,
+		Retries:         cfg.retries,
+		FailThreshold:   cfg.failThreshold,
 	}
+	if cfg.failDisk < 0 || cfg.failDisk >= cfg.c {
+		return fmt.Errorf("-fail %d out of range [0,%d)", cfg.failDisk, cfg.c)
+	}
+	faultsOn := cfg.faults || cfg.transient > 0 || cfg.torn > 0 || cfg.lse > 0 || cfg.corrupt > 0
+	if cfg.faults && cfg.transient == 0 && cfg.torn == 0 && cfg.lse == 0 && cfg.corrupt == 0 {
+		cfg.transient, cfg.torn, cfg.lse, cfg.corrupt = 0.02, 0.01, 0.002, 0.005
+	}
+	seed := cfg.chaosSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+
 	var replPath string
 	if cfg.backend == "file" {
 		dir := cfg.dir
@@ -92,16 +135,50 @@ func run(cfg config, out io.Writer) error {
 			return err
 		}
 		scfg.Disks = disks
+		scfg.Intent = declust.OpenFileIntent(filepath.Join(dir, "intent.log"))
 		replPath = filepath.Join(dir, "replacement.dat")
 		fmt.Fprintf(out, "file-backed array under %s\n", dir)
 	}
+
+	// Fault injection wraps every backend; latent sector errors arrive
+	// only on the disk that will be failed, so no latent damage can sit
+	// on a survivor when the rebuild reads them (scrub-before-rebuild).
+	var fds []*declust.StoreFaultDisk
+	if faultsOn {
+		fmt.Fprintf(out, "fault injection on: transient=%g torn=%g lse=%g corrupt=%g seed=%d\n",
+			cfg.transient, cfg.torn, cfg.lse, cfg.corrupt, seed)
+		base := scfg.Disks
+		if base == nil {
+			base = make([]declust.StoreDisk, cfg.c)
+			for i := range base {
+				base[i] = declust.NewMemDisk(cfg.units, cfg.unitSize)
+			}
+		}
+		fds = make([]*declust.StoreFaultDisk, cfg.c)
+		wrapped := make([]declust.StoreDisk, cfg.c)
+		for i, d := range base {
+			fc := declust.StoreFaultConfig{
+				Seed:          seed + int64(i),
+				TransientRate: cfg.transient,
+				TornWriteRate: cfg.torn,
+				CorruptRate:   cfg.corrupt,
+			}
+			if i == cfg.failDisk {
+				fc.LSERate = cfg.lse
+			}
+			fds[i] = declust.NewFaultDisk(d, fc)
+			wrapped[i] = fds[i]
+		}
+		scfg.Disks = wrapped
+	}
+
 	s, err := declust.OpenStore(cfg.c, cfg.g, scfg)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	if cfg.failDisk < 0 || cfg.failDisk >= cfg.c {
-		return fmt.Errorf("-fail %d out of range [0,%d)", cfg.failDisk, cfg.c)
+	if st := s.Stats(); st.ResyncedStripes > 0 {
+		fmt.Fprintf(out, "crash recovery: resynced %d stripes (%d repaired)\n", st.ResyncedStripes, st.ResyncRepairs)
 	}
 
 	total := s.DataUnits()
@@ -118,6 +195,9 @@ func run(cfg config, out io.Writer) error {
 		if err := s.WriteUnit(n, buf); err != nil {
 			return err
 		}
+	}
+	if err := s.Sync(); err != nil {
+		return err
 	}
 	fmt.Fprintf(out, "filled %d units\n", total)
 
@@ -184,6 +264,22 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 
+	if faultsOn && cfg.lse > 0 {
+		// Stop new latent errors on the doomed disk and scrub the array
+		// clean before failing it: a latent error discovered on a survivor
+		// during rebuild would be unrecoverable.
+		fds[cfg.failDisk].SetConfig(declust.StoreFaultConfig{
+			TransientRate: cfg.transient,
+			TornWriteRate: cfg.torn,
+			CorruptRate:   cfg.corrupt,
+		})
+		res, err := s.Scrub()
+		if err != nil {
+			return fmt.Errorf("pre-failure scrub: %w", err)
+		}
+		fmt.Fprintf(out, "pre-failure scrub: %d stripes verified, %d units repaired, %d parity rewrites\n",
+			res.Stripes, res.UnitRepairs, res.ParityRewrites)
+	}
 	fmt.Fprintf(out, "failing disk %d\n", cfg.failDisk)
 	if err := s.Fail(cfg.failDisk); err != nil {
 		return err
@@ -197,6 +293,16 @@ func run(cfg config, out io.Writer) error {
 		if repl, err = declust.OpenFileDisk(replPath, cfg.units, cfg.unitSize); err != nil {
 			return err
 		}
+	}
+	if faultsOn {
+		// The replacement is no more reliable than the rest of the array.
+		rfd := declust.NewFaultDisk(repl, declust.StoreFaultConfig{
+			Seed:          seed + int64(cfg.c),
+			TransientRate: cfg.transient,
+			TornWriteRate: cfg.torn,
+		})
+		fds[cfg.failDisk] = rfd
+		repl = rfd
 	}
 	rebuildDone := make(chan error, 1)
 	rebuildStart := time.Now()
@@ -214,6 +320,20 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 
+	if cfg.scrub || faultsOn {
+		// Quiesce injection, then let the scrubber verify and repair the
+		// whole array before the byte-for-byte check.
+		for _, fd := range fds {
+			fd.Quiesce()
+		}
+		res, err := s.Scrub()
+		if err != nil {
+			return fmt.Errorf("final scrub: %w", err)
+		}
+		fmt.Fprintf(out, "final scrub: %d stripes verified, %d units repaired, %d parity rewrites\n",
+			res.Stripes, res.UnitRepairs, res.ParityRewrites)
+	}
+
 	// Final verification: every unit equals its last write, every
 	// stripe's parity equation balances.
 	want := make([]byte, cfg.unitSize)
@@ -229,9 +349,16 @@ func run(cfg config, out io.Writer) error {
 	if err := s.CheckParity(); err != nil {
 		return err
 	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
 	st := s.Stats()
 	fmt.Fprintf(out, "stats: %d reads (%d reconstructed on the fly), %d writes (%d folded, %d redirected), %d units rebuilt\n",
 		st.Reads, st.DegradedReads, st.Writes, st.FoldedWrites, st.RedirectedWrites, st.RebuiltUnits)
+	if faultsOn || st.Retries > 0 || st.HealedUnits > 0 {
+		fmt.Fprintf(out, "robustness: %d retries, %d units healed (%d media, %d checksum), %d scrub repairs, %d stale parity rewrites\n",
+			st.Retries, st.HealedUnits, st.MediaErrors, st.ChecksumErrors, st.ScrubUnitRepairs, st.ScrubParityFixes)
+	}
 	fmt.Fprintf(out, "verify: OK — all %d units match their last write, parity consistent\n", total)
 	return nil
 }

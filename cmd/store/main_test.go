@@ -44,6 +44,46 @@ func TestRunFileScenario(t *testing.T) {
 	}
 }
 
+// TestRunFaultScenario turns on the fault injectors (with a fixed seed)
+// and expects the lifecycle to survive: scrubs run, damage heals, and the
+// final byte-for-byte verification still passes.
+func TestRunFaultScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 7, g: 3, units: 64, unitSize: 512,
+		backend: "mem", clients: 4, phaseSecs: 0.05,
+		readFrac: 0.5, failDisk: 2,
+		faults: true, chaosSeed: 12345, retries: 6,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fault injection on", "pre-failure scrub", "final scrub", "robustness:", "verify: OK"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunFileFaultScenario combines the file backend (intent log, Sync)
+// with fault injection.
+func TestRunFileFaultScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 5, g: 5, units: 40, unitSize: 512,
+		backend: "file", dir: t.TempDir(), clients: 2, phaseSecs: 0.03,
+		readFrac: 0.5, failDisk: 0,
+		transient: 0.02, torn: 0.01, chaosSeed: 99, retries: 6, scrub: true,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("output missing verification verdict:\n%s", out.String())
+	}
+}
+
 // TestRunRejectsBadFailDisk checks argument validation.
 func TestRunRejectsBadFailDisk(t *testing.T) {
 	var out strings.Builder

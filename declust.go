@@ -338,6 +338,52 @@ func OpenFileDisks(dir string, c int, units int64, unitSize int) ([]StoreDisk, e
 	return store.OpenFileDisks(dir, c, units, unitSize)
 }
 
+// StoreFaultConfig parameterizes a fault-injecting store backend: seeded
+// per-operation probabilities for transient errors, torn and lost writes,
+// latent sector errors, read corruption, and injected latency.
+type StoreFaultConfig = store.FaultConfig
+
+// StoreFaultStats counts the faults a fault-injecting backend delivered.
+type StoreFaultStats = store.FaultStats
+
+// StoreFaultDisk wraps any store backend with seed-driven fault
+// injection; the engine's checksums, retries, self-healing reads, and
+// scrubber are expected to absorb everything it throws.
+type StoreFaultDisk = store.FaultDisk
+
+// NewFaultDisk wraps backend d with fault injection per cfg.
+func NewFaultDisk(d StoreDisk, cfg StoreFaultConfig) *StoreFaultDisk {
+	return store.NewFaultDisk(d, cfg)
+}
+
+// StoreIntentLog persists the store's dirty-region write-intent bitmap,
+// making parity crash-consistent; see OpenFileIntent.
+type StoreIntentLog = store.IntentLog
+
+// OpenFileIntent returns a crash-safe file-backed intent log for
+// StoreConfig.Intent. A store reopened over a log with dirty regions
+// resynchronizes their stripes before serving.
+func OpenFileIntent(path string) StoreIntentLog { return store.OpenFileIntent(path) }
+
+// ScrubResult summarizes one Store.Scrub sweep: stripes verified and
+// skipped, damaged units repaired, stale parity rewritten, and stripes
+// beyond repair.
+type ScrubResult = store.ScrubResult
+
+// PhysUnitSize returns the on-backend size of a store unit: the data
+// plus its checksum trailer. Custom StoreDisk implementations size their
+// blocks with this.
+func PhysUnitSize(unitSize int) int { return store.PhysUnitSize(unitSize) }
+
+// Store backend error classes: transient errors are retried by the
+// engine, media errors trigger reconstruct-and-rewrite healing, and
+// ErrUnrecoverable reports damage beyond single parity.
+var (
+	ErrStoreTransient     = store.ErrTransient
+	ErrStoreMedia         = store.ErrMedia
+	ErrStoreUnrecoverable = store.ErrUnrecoverable
+)
+
 // NewIdleArray builds an array for enumeration-style analyses — no
 // workload runs and no simulated time passes. scale divides the IBM 0661
 // capacity (1 = full size).

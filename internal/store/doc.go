@@ -26,5 +26,27 @@
 // disk) and OpenFileDisk (one flat file per disk) are provided; anything
 // addressable by (unit offset → fixed-size block) can slot in, which is
 // what keeps mirrored/hybrid organizations implementable later without
-// touching the engine.
+// touching the engine. NewFaultDisk wraps any backend with seed-driven
+// fault injection (transients, latent sector errors, torn and lost
+// writes, corruption, latency) for chaos testing.
+//
+// Failure and durability contract. Every unit carries an 8-byte checksum
+// trailer (PhysUnitSize bytes on the backend); every read verifies it, so
+// corruption is detected, never returned. Transient backend errors
+// (ErrTransient) retry with exponential backoff; damage — media errors
+// (ErrMedia) and persistent checksum mismatches — triggers the
+// self-healing read: the unit is reconstructed from its stripe's
+// survivors and rewritten in place. Persistent errors score against the
+// disk and Config.FailThreshold can auto-Fail a dying device. Parity is
+// made crash-consistent by a region-granular write-intent log: a stripe's
+// region is durably marked dirty before its first write and cleared
+// lazily at Store.Sync / clean Close, and New resynchronizes every stripe
+// of every dirty region before serving — so a crash mid-parity-update is
+// always repaired at next open. Scrub is the background patrol sweep:
+// it verifies every stripe's checksums and parity equation under live
+// load, repairing damaged units and recomputing parity for stripes
+// carrying the lost-write signature. One damage class is beyond unit
+// checksums by construction: a write acknowledged but never persisted
+// leaves the old, self-consistent unit in place — only the parity scrub
+// notices, and it resolves the inconsistency in favor of data.
 package store

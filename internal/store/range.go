@@ -33,12 +33,26 @@ func (s *Store) ReadRange(start int64, dst []byte) error {
 		if end > start+n {
 			end = start + n
 		}
+		healU := int64(-1)
+		var healLoc layout.Loc
 		s.locks.rlock(stripe)
 		for ; u < end && err == nil; u++ {
 			loc := s.mapper.Loc(u)
 			err = s.readLocked(stripe, loc, dst[(u-start)*int64(s.unitSize):(u-start+1)*int64(s.unitSize)])
+			if needsHeal(err) {
+				healU, healLoc = u, loc
+			}
 		}
 		s.locks.runlock(stripe)
+		if healU >= 0 {
+			// A unit is damaged: repair it under the stripe's write lock,
+			// then resume the sweep after it.
+			if err = s.healRead(stripe, healLoc, dst[(healU-start)*int64(s.unitSize):(healU-start+1)*int64(s.unitSize)]); err != nil {
+				return err
+			}
+			u = healU + 1
+			continue
+		}
 		if err != nil {
 			return err
 		}

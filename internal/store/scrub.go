@@ -1,0 +1,193 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The scrubber is the engine's background integrity sweep: it walks every
+// stripe, verifies each unit's checksum trailer and the stripe's parity
+// equation, and repairs what single-failure parity can repair — a damaged
+// unit is reconstructed from its siblings and rewritten; a stripe whose
+// units are all individually valid but whose XOR does not balance (the
+// lost-write signature, or a crash between data and parity commits) gets
+// its parity recomputed from data, resolving the conflict in favor of
+// data. The same per-stripe repair is what the write-intent recovery pass
+// runs at open, just over dirty regions only.
+
+// stripeFix reports what resyncStripe had to do to a stripe.
+type stripeFix int
+
+const (
+	fixNone   stripeFix = iota // stripe verified clean
+	fixUnit                    // one damaged unit reconstructed and rewritten
+	fixParity                  // parity recomputed from data
+)
+
+// resyncStripe verifies and repairs one stripe under its write lock (or
+// before the store serves traffic). No unit of the stripe may be lost.
+// With at most one damaged unit the stripe is repaired in place; two or
+// more damaged units are unrecoverable.
+func (s *Store) resyncStripe(st *diskState, stripe int64) (stripeFix, error) {
+	g := s.lay.G()
+	pp := s.lay.ParityPos(stripe)
+	phys := s.getBuf()
+	acc := s.getBuf()
+	defer s.putBuf(phys)
+	defer s.putBuf(acc)
+	accData := (*acc)[:s.unitSize]
+	for i := range accData {
+		accData[i] = 0
+	}
+	badJ := -1
+	var badErr error
+	for j := 0; j < g; j++ {
+		u := s.lay.Unit(stripe, j)
+		err := s.readPhys(st.disk(u), u.Disk, u.Offset, *phys)
+		if err == nil {
+			xorInto(accData, (*phys)[:s.unitSize])
+			continue
+		}
+		if !needsHeal(err) {
+			return fixNone, err
+		}
+		if badJ >= 0 {
+			return fixNone, fmt.Errorf("%w: stripe %d units %v and %v: %v",
+				ErrUnrecoverable, stripe, s.lay.Unit(stripe, badJ), u, err)
+		}
+		badJ, badErr = j, err
+	}
+
+	if badJ >= 0 {
+		// One damaged unit: its correct contents are the XOR of its
+		// siblings, which accData already holds.
+		u := s.lay.Unit(stripe, badJ)
+		s.countHeal(badErr)
+		s.scoreDiskError(u.Disk)
+		if err := s.writeDataUnit(st.disk(u), u.Disk, u.Offset, accData); err != nil {
+			return fixNone, fmt.Errorf("store: rewriting damaged unit %v: %w", u, err)
+		}
+		s.healedUnits.Add(1)
+		return fixUnit, nil
+	}
+
+	// All units individually valid: the parity equation must balance.
+	balanced := true
+	for _, b := range accData {
+		if b != 0 {
+			balanced = false
+			break
+		}
+	}
+	if balanced {
+		return fixNone, nil
+	}
+	// It does not — a write was lost somewhere, or a crash split a
+	// data/parity commit. Recompute parity from data (XOR the imbalance
+	// into the stored parity), trusting data over parity.
+	ploc := s.lay.Unit(stripe, pp)
+	if err := s.readPhys(st.disk(ploc), ploc.Disk, ploc.Offset, *phys); err != nil {
+		return fixNone, err
+	}
+	xorInto((*phys)[:s.unitSize], accData)
+	if err := s.writeStamped(st.disk(ploc), ploc.Disk, ploc.Offset, *phys); err != nil {
+		return fixNone, fmt.Errorf("store: rewriting parity %v: %w", ploc, err)
+	}
+	return fixParity, nil
+}
+
+// isUnrecoverable reports data loss single parity cannot repair.
+func isUnrecoverable(err error) bool { return errors.Is(err, ErrUnrecoverable) }
+
+// stripeHasLost reports whether any unit of stripe is lost in st.
+func (s *Store) stripeHasLost(st *diskState, stripe int64) bool {
+	g := s.lay.G()
+	for j := 0; j < g; j++ {
+		if st.lost(s.lay.Unit(stripe, j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScrubResult summarizes one Scrub sweep.
+type ScrubResult struct {
+	// Stripes is how many stripes were verified (and repaired if needed).
+	Stripes int64
+	// Skipped is how many stripes were passed over because a unit is lost
+	// (their consistency is re-established by the rebuild, not the scrub).
+	Skipped int64
+	// UnitRepairs counts damaged units (media errors, checksum
+	// mismatches) reconstructed from survivors and rewritten.
+	UnitRepairs int64
+	// ParityRewrites counts stripes whose units were all individually
+	// valid but whose parity equation did not balance — the lost-write /
+	// interrupted-write signature — repaired by recomputing parity from
+	// data.
+	ParityRewrites int64
+	// Unrecoverable counts stripes with two or more damaged units, which
+	// single-failure parity cannot repair. They are left as found.
+	Unrecoverable int64
+}
+
+// Scrub sweeps every stripe, verifying checksums and parity and repairing
+// damage in place, stripe by stripe under the stripe locks, while user
+// operations continue — the background patrol read. Config.ScrubThrottle
+// paces the sweep. Stripes with a lost unit are skipped. Unrecoverable
+// stripes are counted, left untouched, and reported in the returned
+// error; all other stripes are still verified. A clean sweep (no
+// unrecoverable damage) clears the engine's parity-doubt latch, letting
+// Sync resume clearing intent-log regions after a mid-stripe write
+// failure. Only one Scrub runs at a time.
+func (s *Store) Scrub() (ScrubResult, error) {
+	if !s.scrubbing.CompareAndSwap(false, true) {
+		return ScrubResult{}, fmt.Errorf("store: scrub already in progress")
+	}
+	defer s.scrubbing.Store(false)
+
+	var res ScrubResult
+	var firstErr error
+	for stripe := int64(0); stripe < s.numStripes; stripe++ {
+		s.locks.lock(stripe)
+		st := s.st.Load()
+		if s.stripeHasLost(st, stripe) {
+			res.Skipped++
+			s.locks.unlock(stripe)
+			continue
+		}
+		fix, err := s.resyncStripe(st, stripe)
+		s.locks.unlock(stripe)
+		switch {
+		case err == nil:
+			res.Stripes++
+			switch fix {
+			case fixUnit:
+				res.UnitRepairs++
+				s.scrubRepairs.Add(1)
+			case fixParity:
+				res.ParityRewrites++
+				s.scrubFixes.Add(1)
+			}
+		case isUnrecoverable(err):
+			res.Unrecoverable++
+			if firstErr == nil {
+				firstErr = err
+			}
+		default:
+			s.scrubbedStripes.Add(res.Stripes)
+			return res, fmt.Errorf("store: scrub of stripe %d: %w", stripe, err)
+		}
+		if s.scrubThrottle > 0 {
+			time.Sleep(s.scrubThrottle)
+		}
+	}
+	s.scrubs.Add(1)
+	s.scrubbedStripes.Add(res.Stripes)
+	if firstErr == nil {
+		// Every reachable stripe verified clean (or was repaired): any
+		// doubt left by an earlier failed write is resolved.
+		s.parityDoubt.Store(false)
+	}
+	return res, firstErr
+}

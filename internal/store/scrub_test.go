@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"declust/internal/layout"
+)
+
+func TestScrubCleanStoreVerifiesEverything(t *testing.T) {
+	s := newTestStore(t, 7, 3, 64, 512)
+	fillAll(t, s, 1)
+	res, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if res.Stripes != s.Stripes() || res.Skipped != 0 {
+		t.Fatalf("scrubbed %d stripes (skipped %d), want %d (0)", res.Stripes, res.Skipped, s.Stripes())
+	}
+	if res.UnitRepairs != 0 || res.ParityRewrites != 0 || res.Unrecoverable != 0 {
+		t.Fatalf("clean store needed repairs: %+v", res)
+	}
+	if s.Stats().Scrubs != 1 {
+		t.Fatalf("Scrubs = %d, want 1", s.Stats().Scrubs)
+	}
+}
+
+func TestScrubRepairsRottedUnit(t *testing.T) {
+	s := newTestStore(t, 7, 3, 64, 512)
+	fillAll(t, s, 6)
+	loc := s.mapper.Loc(11)
+	st := s.st.Load()
+	if err := st.disks[loc.Disk].WriteUnit(loc.Offset, bytes.Repeat([]byte{0xEE}, s.physSize)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if res.UnitRepairs != 1 {
+		t.Fatalf("UnitRepairs = %d, want 1", res.UnitRepairs)
+	}
+	verifyUnit(t, s, 11, 6)
+	if err := s.CheckParity(); err != nil {
+		t.Fatalf("CheckParity after scrub: %v", err)
+	}
+}
+
+func TestScrubDetectsLostParityWrite(t *testing.T) {
+	s, fds := faultStore(t, 7, 3, 64, 512,
+		func(int) FaultConfig { return FaultConfig{} }, Config{})
+	fillAll(t, s, 1)
+	// Drop the parity commit of one write: data goes down, parity stays
+	// stale. The unit checksums all verify — only the parity equation
+	// betrays the lost write, and the scrub resolves it in favor of data.
+	n := int64(3)
+	loc := s.mapper.Loc(n)
+	stripe, _ := s.lay.Locate(loc)
+	ploc := layout.ParityLoc(s.lay, stripe)
+	fds[ploc.Disk].LoseNextWrite()
+	buf := make([]byte, s.UnitSize())
+	fill(buf, n, 2)
+	if err := s.WriteUnit(n, buf); err != nil {
+		t.Fatalf("WriteUnit with lost parity: %v", err)
+	}
+	if err := s.CheckParity(); err == nil {
+		t.Fatal("CheckParity missed the stale parity unit")
+	}
+	res, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if res.ParityRewrites != 1 {
+		t.Fatalf("ParityRewrites = %d, want 1", res.ParityRewrites)
+	}
+	if err := s.CheckParity(); err != nil {
+		t.Fatalf("CheckParity after scrub: %v", err)
+	}
+	verifyUnit(t, s, n, 2)
+}
+
+func TestScrubCountsUnrecoverableStripes(t *testing.T) {
+	s := newTestStore(t, 7, 3, 64, 512)
+	fillAll(t, s, 1)
+	// Rot two units of stripe 0: beyond single parity.
+	st := s.st.Load()
+	for j := 0; j < 2; j++ {
+		u := s.lay.Unit(0, j)
+		if err := st.disks[u.Disk].WriteUnit(u.Offset, bytes.Repeat([]byte{0xBD}, s.physSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Scrub()
+	if err == nil || !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("Scrub returned %v, want an ErrUnrecoverable", err)
+	}
+	if res.Unrecoverable != 1 {
+		t.Fatalf("Unrecoverable = %d, want 1", res.Unrecoverable)
+	}
+	if res.Stripes != s.Stripes()-1 {
+		t.Fatalf("scrub stopped early: verified %d of %d stripes", res.Stripes, s.Stripes()-1)
+	}
+}
+
+func TestScrubSkipsDegradedStripes(t *testing.T) {
+	s := newTestStore(t, 7, 3, 64, 512)
+	fillAll(t, s, 1)
+	if err := s.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub degraded: %v", err)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("degraded scrub skipped no stripes")
+	}
+	if res.Stripes+res.Skipped != s.Stripes() {
+		t.Fatalf("scrubbed %d + skipped %d != %d stripes", res.Stripes, res.Skipped, s.Stripes())
+	}
+}
+
+// TestIntentRecoveryResyncsDirtyRegions simulates a crash by abandoning a
+// file-backed store (no Close, so its intent log still has the written
+// region marked) after dropping a parity commit, then reopens over the
+// same files and expects the recovery pass to repair the stripe.
+func TestIntentRecoveryResyncsDirtyRegions(t *testing.T) {
+	dir := t.TempDir()
+	lay := testLayout(t, 5, 5)
+	usable := layout.UsableUnitsPerDisk(lay, 40)
+
+	open := func() (*Store, []*FaultDisk) {
+		raw, err := OpenFileDisks(dir, 5, usable, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds := make([]*FaultDisk, len(raw))
+		disks := make([]Disk, len(raw))
+		for i, d := range raw {
+			fds[i] = NewFaultDisk(d, FaultConfig{})
+			disks[i] = fds[i]
+		}
+		s, err := New(Config{
+			Layout:       lay,
+			UnitsPerDisk: 40,
+			UnitSize:     512,
+			Disks:        disks,
+			Intent:       OpenFileIntent(filepath.Join(dir, "intent.log")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, fds
+	}
+
+	s1, fds := open()
+	fillAll(t, s1, 1)
+	if err := s1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dirty one region with a write whose parity commit is dropped.
+	n := int64(2)
+	loc := s1.mapper.Loc(n)
+	stripe, _ := s1.lay.Locate(loc)
+	ploc := layout.ParityLoc(s1.lay, stripe)
+	fds[ploc.Disk].LoseNextWrite()
+	buf := make([]byte, 512)
+	fill(buf, n, 2)
+	if err := s1.WriteUnit(n, buf); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": abandon s1 without Close or Sync. The region is still
+	// marked in intent.log and the parity on disk is stale.
+
+	s2, _ := open()
+	defer s2.Close()
+	st := s2.Stats()
+	if st.ResyncedStripes == 0 {
+		t.Fatal("reopen found no dirty regions to resync")
+	}
+	if st.ResyncRepairs == 0 {
+		t.Fatal("recovery pass repaired nothing despite a stale parity unit")
+	}
+	if err := s2.CheckParity(); err != nil {
+		t.Fatalf("CheckParity after recovery: %v", err)
+	}
+	verifyUnit(t, s2, n, 2)
+	for u := int64(0); u < s2.DataUnits(); u++ {
+		if u != n {
+			verifyUnit(t, s2, u, 1)
+		}
+	}
+}
+
+// TestCleanCloseClearsIntent verifies the happy path pays no recovery:
+// Sync+Close leave the intent log clean, so reopening resyncs nothing.
+func TestCleanCloseClearsIntent(t *testing.T) {
+	dir := t.TempDir()
+	lay := testLayout(t, 5, 5)
+	usable := layout.UsableUnitsPerDisk(lay, 40)
+	openStore := func() *Store {
+		disks, err := OpenFileDisks(dir, 5, usable, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			Layout:       lay,
+			UnitsPerDisk: 40,
+			UnitSize:     512,
+			Disks:        disks,
+			Intent:       OpenFileIntent(filepath.Join(dir, "intent.log")),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := openStore()
+	fillAll(t, s1, 1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore()
+	defer s2.Close()
+	if got := s2.Stats().ResyncedStripes; got != 0 {
+		t.Fatalf("clean reopen resynced %d stripes, want 0", got)
+	}
+	for u := int64(0); u < s2.DataUnits(); u++ {
+		verifyUnit(t, s2, u, 1)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,16 +20,41 @@ type Config struct {
 	Layout layout.Layout
 	// UnitsPerDisk is the raw per-disk capacity in units (default 1024).
 	UnitsPerDisk int64
-	// UnitSize is the unit size in bytes (default 4096).
+	// UnitSize is the data unit size in bytes (default 4096). Backends
+	// store PhysUnitSize(UnitSize) bytes per unit — the data plus its
+	// checksum trailer.
 	UnitSize int
 	// Disks optionally supplies the C backends (index = disk number);
 	// nil builds in-memory disks. Each must hold at least the usable
-	// unit count.
+	// unit count at the physical unit size; backends reporting a
+	// Geometry are validated against the store's.
 	Disks []Disk
 	// RebuildThrottle pauses the rebuild sweep between units, trading
 	// rebuild time for user response — the paper's §9 throttling knob,
 	// and the way tests hold the rebuild window open.
 	RebuildThrottle time.Duration
+	// ScrubThrottle pauses the Scrub sweep between stripes, bounding the
+	// bandwidth the background verifier steals from clients (the same
+	// knob as RebuildThrottle, applied to scrubbing).
+	ScrubThrottle time.Duration
+	// Retries is how many times a transiently failing backend operation
+	// is retried before the error is treated as persistent (default 3).
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling each
+	// attempt (default 500µs).
+	RetryBackoff time.Duration
+	// FailThreshold, when positive, auto-fails a disk once its
+	// persistent-error score (exhausted retries, unknown errors,
+	// confirmed media/checksum damage) reaches it, instead of letting a
+	// dying device keep degrading every stripe it touches. Zero disables
+	// auto-failing; Fail remains available to operators.
+	FailThreshold int
+	// Intent, when non-nil, persists the dirty-region write-intent log
+	// that makes parity crash-consistent (OpenFileIntent for file-backed
+	// arrays). Nil uses an in-memory log: the same bookkeeping, no
+	// durability — appropriate for mem backends, which lose everything
+	// in a crash anyway. New replays a non-empty log before serving.
+	Intent IntentLog
 }
 
 // Mode is the store's failure state.
@@ -76,6 +102,33 @@ type Stats struct {
 	RebuiltUnits int64
 	// Rebuilds counts completed rebuild sweeps (heals).
 	Rebuilds int64
+	// Retries counts backend operations retried after a transient error.
+	Retries int64
+	// ChecksumErrors counts units whose trailer failed verification
+	// persistently (torn writes, bit rot) and entered the heal path.
+	ChecksumErrors int64
+	// MediaErrors counts unrecoverable media errors (latent sector
+	// errors) reported by backends.
+	MediaErrors int64
+	// HealedUnits counts damaged units rewritten in place with contents
+	// reconstructed from their stripe's survivors (self-healing reads,
+	// RMW pre-reads, and scrub repairs).
+	HealedUnits int64
+	// AutoFails counts disks taken out of service by the
+	// persistent-error threshold.
+	AutoFails int64
+	// Scrubs counts completed Scrub sweeps; ScrubbedStripes the stripes
+	// they verified; ScrubUnitRepairs the damaged units they healed;
+	// ScrubParityFixes the self-consistent-but-unbalanced stripes whose
+	// parity they recomputed (the lost-write signature).
+	Scrubs           int64
+	ScrubbedStripes  int64
+	ScrubUnitRepairs int64
+	ScrubParityFixes int64
+	// ResyncedStripes counts stripes re-verified by the write-intent
+	// recovery pass at open; ResyncRepairs those it had to repair.
+	ResyncedStripes int64
+	ResyncRepairs   int64
 }
 
 // diskState is an immutable failure-state snapshot, published through an
@@ -103,35 +156,60 @@ func (st *diskState) disk(loc layout.Loc) Disk {
 }
 
 // Store is a goroutine-safe declustered block store. See the package
-// comment for the concurrency model.
+// comment for the concurrency model and the failure/durability contract.
 type Store struct {
 	lay          layout.Layout
 	mapper       layout.StripeIndexMapper
 	unitSize     int
+	physSize     int
 	unitsPerDisk int64 // usable units per disk (whole periods)
 	numStripes   int64
 	dataUnits    int64
 	throttle     time.Duration
+
+	retries       int
+	retryBackoff  time.Duration
+	failThreshold int
+	scrubThrottle time.Duration
 
 	locks lockTable
 	st    atomic.Pointer[diskState]
 
 	admin      sync.Mutex // serializes Fail / Rebuild install / heal
 	rebuilding atomic.Bool
+	scrubbing  atomic.Bool
 	detached   []Disk // failed backends, closed with the store
 	closed     bool
 
-	bufs sync.Pool
+	intent       IntentLog
+	intentMu     sync.Mutex // serializes Mark/Clear persistence
+	regionDirty  []atomic.Bool
+	regionActive []atomic.Int32
+	parityDoubt  atomic.Bool // a write failed mid-stripe; hold intent until a clean scrub
+
+	diskErrs []atomic.Int64 // persistent-error score per slot
+
+	bufs sync.Pool // physical-unit-sized buffers
 
 	reads, writes, degradedReads   atomic.Int64
 	foldedWrites, redirectedWrites atomic.Int64
 	rebuiltUnits, rebuilds         atomic.Int64
 	rebuiltNow                     atomic.Int64 // progress within the current failure
+
+	retriesDone              atomic.Int64
+	checksumErrs, mediaErrs  atomic.Int64
+	healedUnits, autoFails   atomic.Int64
+	scrubs, scrubbedStripes  atomic.Int64
+	scrubRepairs, scrubFixes atomic.Int64
+	resyncStripes            atomic.Int64
+	resyncRepairs            atomic.Int64
 }
 
 // New builds a Store over cfg.Layout. With cfg.Disks nil it creates
 // in-memory backends; otherwise it adopts (and will Close) the supplied
-// ones.
+// ones. If cfg.Intent carries dirty regions from a previous incarnation,
+// New resynchronizes their stripes (parity recomputation, damaged-unit
+// reconstruction) before returning — the crash-recovery pass.
 func New(cfg Config) (*Store, error) {
 	if cfg.Layout == nil {
 		return nil, fmt.Errorf("store: Config.Layout is required (use declust.OpenStore to build one from C and G)")
@@ -144,6 +222,21 @@ func New(cfg Config) (*Store, error) {
 	}
 	if cfg.UnitsPerDisk == 0 {
 		cfg.UnitsPerDisk = 1024
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Retries < 0 || cfg.Retries > 16 {
+		return nil, fmt.Errorf("store: %d retries outside [1,16]", cfg.Retries)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 500 * time.Microsecond
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("store: negative retry backoff %v", cfg.RetryBackoff)
+	}
+	if cfg.FailThreshold < 0 {
+		return nil, fmt.Errorf("store: negative fail threshold %d", cfg.FailThreshold)
 	}
 	l := cfg.Layout
 	usable := layout.UsableUnitsPerDisk(l, cfg.UnitsPerDisk)
@@ -160,22 +253,116 @@ func New(cfg Config) (*Store, error) {
 		}
 	} else if len(disks) != c {
 		return nil, fmt.Errorf("store: %d disks supplied, layout needs %d", len(disks), c)
+	} else {
+		for i, d := range disks {
+			if err := checkGeometry(d, usable, cfg.UnitSize); err != nil {
+				return nil, fmt.Errorf("store: disk %d: %w", i, err)
+			}
+		}
 	}
 	s := &Store{
-		lay:          l,
-		mapper:       layout.StripeIndexMapper{L: l},
-		unitSize:     cfg.UnitSize,
-		unitsPerDisk: usable,
-		numStripes:   layout.UsableStripes(l, cfg.UnitsPerDisk),
-		dataUnits:    layout.DataUnits(l, cfg.UnitsPerDisk),
-		throttle:     cfg.RebuildThrottle,
+		lay:           l,
+		mapper:        layout.StripeIndexMapper{L: l},
+		unitSize:      cfg.UnitSize,
+		physSize:      PhysUnitSize(cfg.UnitSize),
+		unitsPerDisk:  usable,
+		numStripes:    layout.UsableStripes(l, cfg.UnitsPerDisk),
+		dataUnits:     layout.DataUnits(l, cfg.UnitsPerDisk),
+		throttle:      cfg.RebuildThrottle,
+		retries:       cfg.Retries,
+		retryBackoff:  cfg.RetryBackoff,
+		failThreshold: cfg.FailThreshold,
+		scrubThrottle: cfg.ScrubThrottle,
+		diskErrs:      make([]atomic.Int64, c),
 	}
 	s.bufs.New = func() any {
-		b := make([]byte, s.unitSize)
+		b := make([]byte, s.physSize)
 		return &b
 	}
 	s.st.Store(&diskState{disks: disks, failed: -1})
+
+	s.intent = cfg.Intent
+	if s.intent == nil {
+		s.intent = &memIntent{}
+	}
+	regions := intentRegions(s.numStripes)
+	dirty, err := s.intent.Init(regions)
+	if err != nil {
+		return nil, fmt.Errorf("store: intent log: %w", err)
+	}
+	s.regionDirty = make([]atomic.Bool, regions)
+	s.regionActive = make([]atomic.Int32, regions)
+	if len(dirty) > 0 {
+		if err := s.recoverIntent(dirty); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// checkGeometry validates a supplied backend against the store's needs
+// when the backend reports its geometry.
+func checkGeometry(d Disk, usable int64, unitSize int) error {
+	sd, ok := d.(sizedDisk)
+	if !ok {
+		return nil
+	}
+	units, us := sd.Geometry()
+	if us != unitSize {
+		return fmt.Errorf("backend has %d-byte units, store uses %d-byte units", us, unitSize)
+	}
+	if units < usable {
+		return fmt.Errorf("backend holds %d units, store needs %d", units, usable)
+	}
+	return nil
+}
+
+// recoverIntent is the crash-recovery pass: every stripe of every dirty
+// region is resynchronized (parity recomputed, damaged units
+// reconstructed), then the regions are cleared. Runs before the store
+// serves traffic, so no locks are contended.
+func (s *Store) recoverIntent(dirty []int64) error {
+	st := s.st.Load()
+	for _, r := range dirty {
+		lo := r * intentRegionStripes
+		hi := lo + intentRegionStripes
+		if hi > s.numStripes {
+			hi = s.numStripes
+		}
+		for stripe := lo; stripe < hi; stripe++ {
+			fix, err := s.resyncStripe(st, stripe)
+			if err != nil {
+				return fmt.Errorf("store: intent recovery of stripe %d: %w", stripe, err)
+			}
+			s.resyncStripes.Add(1)
+			if fix != fixNone {
+				s.resyncRepairs.Add(1)
+			}
+		}
+		if err := s.intent.Clear(r); err != nil {
+			return fmt.Errorf("store: intent log: %w", err)
+		}
+	}
+	return nil
+}
+
+// markIntent durably marks stripe region r dirty before its first write.
+// The fast path is one atomic load; the slow path (first write into a
+// clean region) persists the mark under intentMu.
+func (s *Store) markIntent(r int64) error {
+	if s.regionDirty[r].Load() {
+		return nil
+	}
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	if s.regionDirty[r].Load() {
+		return nil
+	}
+	if err := s.intent.Mark(r); err != nil {
+		return fmt.Errorf("store: intent log: %w", err)
+	}
+	s.regionDirty[r].Store(true)
+	return nil
 }
 
 func (s *Store) getBuf() *[]byte  { return s.bufs.Get().(*[]byte) }
@@ -184,11 +371,14 @@ func (s *Store) putBuf(b *[]byte) { s.bufs.Put(b) }
 // DataUnits returns the store's logical capacity in data units.
 func (s *Store) DataUnits() int64 { return s.dataUnits }
 
-// UnitSize returns the unit size in bytes.
+// UnitSize returns the data unit size in bytes.
 func (s *Store) UnitSize() int { return s.unitSize }
 
 // Disks returns C, the array width.
 func (s *Store) Disks() int { return s.lay.Disks() }
+
+// Stripes returns the number of mapped parity stripes.
+func (s *Store) Stripes() int64 { return s.numStripes }
 
 // Mode reports the current failure state.
 func (s *Store) Mode() Mode {
@@ -216,6 +406,17 @@ func (s *Store) Stats() Stats {
 		RedirectedWrites: s.redirectedWrites.Load(),
 		RebuiltUnits:     s.rebuiltUnits.Load(),
 		Rebuilds:         s.rebuilds.Load(),
+		Retries:          s.retriesDone.Load(),
+		ChecksumErrors:   s.checksumErrs.Load(),
+		MediaErrors:      s.mediaErrs.Load(),
+		HealedUnits:      s.healedUnits.Load(),
+		AutoFails:        s.autoFails.Load(),
+		Scrubs:           s.scrubs.Load(),
+		ScrubbedStripes:  s.scrubbedStripes.Load(),
+		ScrubUnitRepairs: s.scrubRepairs.Load(),
+		ScrubParityFixes: s.scrubFixes.Load(),
+		ResyncedStripes:  s.resyncStripes.Load(),
+		ResyncRepairs:    s.resyncRepairs.Load(),
 	}
 }
 
@@ -237,7 +438,9 @@ func (s *Store) checkUnit(n int64, buf []byte) error {
 }
 
 // ReadUnit reads logical data unit n into dst (exactly one unit). Lost
-// units are reconstructed on the fly by XORing the stripe's survivors.
+// units are reconstructed on the fly by XORing the stripe's survivors;
+// damaged units (media errors, checksum mismatches) are reconstructed
+// the same way and rewritten in place — the self-healing read.
 func (s *Store) ReadUnit(n int64, dst []byte) error {
 	if err := s.checkUnit(n, dst); err != nil {
 		return err
@@ -247,6 +450,11 @@ func (s *Store) ReadUnit(n int64, dst []byte) error {
 	s.locks.rlock(stripe)
 	err := s.readLocked(stripe, loc, dst)
 	s.locks.runlock(stripe)
+	if needsHeal(err) {
+		// The unit is damaged. Reads share the stripe lock, so healing
+		// (which rewrites the unit) upgrades to the write lock.
+		err = s.healRead(stripe, loc, dst)
+	}
 	if err == nil {
 		s.reads.Add(1)
 	}
@@ -254,38 +462,65 @@ func (s *Store) ReadUnit(n int64, dst []byte) error {
 }
 
 // readLocked reads one unit with (at least) the stripe's read lock held.
+// Damage is reported (needsHeal), not repaired — repairing requires the
+// write lock.
 func (s *Store) readLocked(stripe int64, loc layout.Loc, dst []byte) error {
 	st := s.st.Load()
-	if !st.lost(loc) {
-		return st.disk(loc).ReadUnit(loc.Offset, dst)
+	if st.lost(loc) {
+		if err := s.reconstructLocked(st, loc, dst); err != nil {
+			return err
+		}
+		s.degradedReads.Add(1)
+		return nil
 	}
-	if err := s.reconstructLocked(st, loc, dst); err != nil {
+	phys := s.getBuf()
+	defer s.putBuf(phys)
+	if err := s.readPhys(st.disk(loc), loc.Disk, loc.Offset, *phys); err != nil {
 		return err
 	}
-	s.degradedReads.Add(1)
+	copy(dst, (*phys)[:s.unitSize])
 	return nil
 }
 
-// reconstructLocked computes loc's contents into dst as the XOR of its
-// stripe's surviving units. Caller holds the stripe lock.
-func (s *Store) reconstructLocked(st *diskState, loc layout.Loc, dst []byte) error {
-	surv := layout.SurvivingUnits(s.lay, loc)
-	buf := s.getBuf()
-	defer s.putBuf(buf)
-	for i, u := range surv {
-		if st.lost(u) {
-			return fmt.Errorf("store: two lost units in one stripe (%v and %v)", loc, u)
-		}
-		if i == 0 {
-			if err := st.disk(u).ReadUnit(u.Offset, dst); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := st.disk(u).ReadUnit(u.Offset, *buf); err != nil {
+// healRead re-serves a read that found damage, under the stripe's write
+// lock so it may repair: re-read (transient corruption clears), else
+// reconstruct from survivors and rewrite the damaged unit.
+func (s *Store) healRead(stripe int64, loc layout.Loc, dst []byte) error {
+	s.locks.lock(stripe)
+	defer s.locks.unlock(stripe)
+	st := s.st.Load()
+	if st.lost(loc) {
+		// Lost, and a survivor was damaged: one exclusive retry — if the
+		// survivor's damage was transient it clears, otherwise the stripe
+		// has two unreadable units and is genuinely unrecoverable.
+		if err := s.xorOthersInto(st, loc, dst); err != nil {
 			return err
 		}
-		xorInto(dst, *buf)
+		s.degradedReads.Add(1)
+		return nil
+	}
+	return s.readUnitHealing(st, loc, dst)
+}
+
+// reconstructLocked computes loc's contents into dst as the XOR of its
+// stripe's surviving units. Caller holds (at least) the stripe's read
+// lock; damaged survivors are reported (needsHeal), not repaired.
+func (s *Store) reconstructLocked(st *diskState, loc layout.Loc, dst []byte) error {
+	surv := layout.SurvivingUnits(s.lay, loc)
+	phys := s.getBuf()
+	defer s.putBuf(phys)
+	for i, u := range surv {
+		if st.lost(u) {
+			return fmt.Errorf("%w: two lost units in one stripe (%v and %v)", ErrUnrecoverable, loc, u)
+		}
+		if err := s.readPhys(st.disk(u), u.Disk, u.Offset, *phys); err != nil {
+			return err
+		}
+		if i == 0 {
+			copy(dst, (*phys)[:s.unitSize])
+			continue
+		}
+		xorInto(dst, (*phys)[:s.unitSize])
 	}
 	return nil
 }
@@ -309,9 +544,29 @@ func (s *Store) WriteUnit(n int64, src []byte) error {
 }
 
 // writeStripeLocked commits new contents for one or more data units of a
-// single stripe, updating parity once. Caller holds the stripe's write
-// lock; locs are distinct data-unit locations of this stripe.
+// single stripe, updating parity once, under the write-intent discipline:
+// the stripe's region is durably marked dirty before any disk is touched,
+// so a crash mid-update is always covered by the recovery pass. Caller
+// holds the stripe's write lock; locs are distinct data-unit locations of
+// this stripe.
 func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byte) error {
+	r := stripe / intentRegionStripes
+	s.regionActive[r].Add(1)
+	defer s.regionActive[r].Add(-1)
+	if err := s.markIntent(r); err != nil {
+		return err
+	}
+	if err := s.commitStripeLocked(stripe, locs, datas); err != nil {
+		// The stripe may now be parity-inconsistent (some units committed,
+		// others not). Its region stays intent-marked, and Sync refuses to
+		// clear any region until a clean scrub re-establishes consistency.
+		s.parityDoubt.Store(true)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]byte) error {
 	st := s.st.Load()
 	ploc := layout.ParityLoc(s.lay, stripe)
 
@@ -320,7 +575,7 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 		// a single data access (§7); the rebuild sweep recomputes the
 		// parity unit from data when its turn comes.
 		for i, loc := range locs {
-			if err := st.disks[loc.Disk].WriteUnit(loc.Offset, datas[i]); err != nil {
+			if err := s.writeDataUnit(st.disk(loc), loc.Disk, loc.Offset, datas[i]); err != nil {
 				return err
 			}
 		}
@@ -358,28 +613,30 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 
 	pbuf := s.getBuf()
 	defer s.putBuf(pbuf)
+	pdata := (*pbuf)[:s.unitSize]
 
 	switch {
 	case len(locs) == s.lay.G()-1:
 		// Large-write optimization: the segment covers every data unit
 		// of the stripe, so parity is computed from the new contents
 		// with no pre-reads.
-		copy(*pbuf, datas[0])
+		copy(pdata, datas[0])
 		for _, d := range datas[1:] {
-			xorInto(*pbuf, d)
+			xorInto(pdata, d)
 		}
 	case haveLost && lostIdx >= 0:
 		// Writing the lost unit: its old contents are unreadable, so the
 		// delta method is unavailable. Fold forward instead: parity
 		// becomes the XOR of every data unit's new contents — written
 		// units contribute their new data, unwritten survivors are read.
-		copy(*pbuf, datas[lostIdx])
+		copy(pdata, datas[lostIdx])
 		for i, d := range datas {
 			if i != lostIdx {
-				xorInto(*pbuf, d)
+				xorInto(pdata, d)
 			}
 		}
 		obuf := s.getBuf()
+		odata := (*obuf)[:s.unitSize]
 		g := s.lay.G()
 		pp := s.lay.ParityPos(stripe)
 		for j := 0; j < g; j++ {
@@ -397,28 +654,30 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 			if written {
 				continue
 			}
-			if err := st.disk(u).ReadUnit(u.Offset, *obuf); err != nil {
+			if err := s.readUnitHealing(st, u, odata); err != nil {
 				s.putBuf(obuf)
 				return err
 			}
-			xorInto(*pbuf, *obuf)
+			xorInto(pdata, odata)
 		}
 		s.putBuf(obuf)
 	default:
 		// Read-modify-write: parity' = parity ⊕ old ⊕ new, folded over
 		// every written unit. All written units are readable here (a
-		// written lost unit takes the branch above).
-		if err := st.disk(ploc).ReadUnit(ploc.Offset, *pbuf); err != nil {
+		// written lost unit takes the branch above). Pre-reads heal
+		// damaged units in place — the write lock is already held.
+		if err := s.readUnitHealing(st, ploc, pdata); err != nil {
 			return err
 		}
 		obuf := s.getBuf()
+		odata := (*obuf)[:s.unitSize]
 		for i, loc := range locs {
-			if err := st.disk(loc).ReadUnit(loc.Offset, *obuf); err != nil {
+			if err := s.readUnitHealing(st, loc, odata); err != nil {
 				s.putBuf(obuf)
 				return err
 			}
-			xorInto(*pbuf, *obuf)
-			xorInto(*pbuf, datas[i])
+			xorInto(pdata, odata)
+			xorInto(pdata, datas[i])
 		}
 		s.putBuf(obuf)
 	}
@@ -430,7 +689,7 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 	for i, loc := range locs {
 		if i == lostIdx {
 			if st.repl != nil {
-				if err := st.repl.WriteUnit(loc.Offset, datas[i]); err != nil {
+				if err := s.writeDataUnit(st.repl, loc.Disk, loc.Offset, datas[i]); err != nil {
 					return err
 				}
 				s.markRebuilt(st, loc.Offset)
@@ -440,11 +699,11 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 			}
 			continue
 		}
-		if err := st.disk(loc).WriteUnit(loc.Offset, datas[i]); err != nil {
+		if err := s.writeDataUnit(st.disk(loc), loc.Disk, loc.Offset, datas[i]); err != nil {
 			return err
 		}
 	}
-	return st.disk(ploc).WriteUnit(ploc.Offset, *pbuf)
+	return s.writeStamped(st.disk(ploc), ploc.Disk, ploc.Offset, *pbuf)
 }
 
 // markRebuilt records (under the stripe lock) that the failed disk's unit
@@ -495,6 +754,9 @@ func (s *Store) Rebuild(repl Disk) error {
 	if repl == nil {
 		return fmt.Errorf("store: nil replacement disk")
 	}
+	if err := checkGeometry(repl, s.unitsPerDisk, s.unitSize); err != nil {
+		return fmt.Errorf("store: replacement: %w", err)
+	}
 	if !s.rebuilding.CompareAndSwap(false, true) {
 		return fmt.Errorf("store: rebuild already in progress")
 	}
@@ -512,14 +774,15 @@ func (s *Store) Rebuild(repl Disk) error {
 
 	buf := s.getBuf()
 	defer s.putBuf(buf)
+	data := (*buf)[:s.unitSize]
 	for off := int64(0); off < s.unitsPerDisk; off++ {
 		loc := layout.Loc{Disk: st2.failed, Offset: off}
 		stripe, _ := s.lay.Locate(loc)
 		s.locks.lock(stripe)
 		var err error
 		if !st2.rebuilt[off] {
-			if err = s.reconstructLocked(st2, loc, *buf); err == nil {
-				if err = repl.WriteUnit(off, *buf); err == nil {
+			if err = s.xorOthersInto(st2, loc, data); err == nil {
+				if err = s.writeDataUnit(repl, st2.failed, off, data); err == nil {
 					s.markRebuilt(st2, off)
 				}
 			}
@@ -534,10 +797,12 @@ func (s *Store) Rebuild(repl Disk) error {
 	}
 
 	// Heal: swap the replacement into the slot and return to Healthy.
+	// The slot's persistent-error score resets — it is a new device.
 	s.admin.Lock()
 	disks := make([]Disk, len(st2.disks))
 	copy(disks, st2.disks)
 	disks[st2.failed] = repl
+	s.diskErrs[st2.failed].Store(0)
 	s.st.Store(&diskState{disks: disks, failed: -1})
 	s.admin.Unlock()
 	s.rebuilds.Add(1)
@@ -545,21 +810,23 @@ func (s *Store) Rebuild(repl Disk) error {
 }
 
 // CheckParity verifies, at quiesce (no operations in flight), that every
-// stripe's parity equation balances: the XOR over all readable units of a
-// whole stripe is zero. Stripes with a lost unit are skipped — their
-// consistency is exactly what degraded reads exercise.
+// stripe's checksums hold and its parity equation balances: the XOR over
+// all units of a whole stripe is zero. Stripes with a lost unit are
+// skipped — their consistency is exactly what degraded reads exercise.
+// CheckParity reports damage; Scrub repairs it.
 func (s *Store) CheckParity() error {
 	buf := s.getBuf()
 	acc := s.getBuf()
 	defer s.putBuf(buf)
 	defer s.putBuf(acc)
+	accData := (*acc)[:s.unitSize]
 	g := s.lay.G()
 	for stripe := int64(0); stripe < s.numStripes; stripe++ {
 		s.locks.rlock(stripe)
 		st := s.st.Load()
 		skip := false
-		for i := range *acc {
-			(*acc)[i] = 0
+		for i := range accData {
+			accData[i] = 0
 		}
 		var err error
 		for j := 0; j < g && err == nil; j++ {
@@ -568,18 +835,18 @@ func (s *Store) CheckParity() error {
 				skip = true
 				break
 			}
-			if err = st.disk(u).ReadUnit(u.Offset, *buf); err == nil {
-				xorInto(*acc, *buf)
+			if err = s.readPhys(st.disk(u), u.Disk, u.Offset, *buf); err == nil {
+				xorInto(accData, (*buf)[:s.unitSize])
 			}
 		}
 		s.locks.runlock(stripe)
 		if err != nil {
-			return err
+			return fmt.Errorf("store: stripe %d: %w", stripe, err)
 		}
 		if skip {
 			continue
 		}
-		for _, b := range *acc {
+		for _, b := range accData {
 			if b != 0 {
 				return fmt.Errorf("store: stripe %d parity inconsistent", stripe)
 			}
@@ -588,8 +855,52 @@ func (s *Store) CheckParity() error {
 	return nil
 }
 
-// Close releases every backend, including detached failed disks. The
-// store must be quiesced; operations after Close have undefined results.
+// Sync is the store's durability point: it flushes every in-service
+// backend that supports Sync, then — with all data durable — clears
+// intent-log regions that have no writer in flight. Call it at quiesce
+// (like CheckParity); regions with active writers are left marked, and
+// no region is cleared while a failed write has the stripe set in doubt
+// (a clean Scrub restores confidence).
+func (s *Store) Sync() error {
+	st := s.st.Load()
+	var errs []error
+	for i, d := range st.disks {
+		if sd, ok := d.(syncDisk); ok {
+			if err := sd.Sync(); err != nil {
+				errs = append(errs, fmt.Errorf("store: sync disk %d: %w", i, err))
+			}
+		}
+	}
+	if st.repl != nil {
+		if sd, ok := st.repl.(syncDisk); ok {
+			if err := sd.Sync(); err != nil {
+				errs = append(errs, fmt.Errorf("store: sync replacement: %w", err))
+			}
+		}
+	}
+	if len(errs) == 0 && !s.parityDoubt.Load() {
+		for r := range s.regionDirty {
+			if !s.regionDirty[r].Load() || s.regionActive[r].Load() != 0 {
+				continue
+			}
+			s.intentMu.Lock()
+			if s.regionDirty[r].Load() && s.regionActive[r].Load() == 0 {
+				if err := s.intent.Clear(int64(r)); err != nil {
+					errs = append(errs, fmt.Errorf("store: intent log: %w", err))
+				} else {
+					s.regionDirty[r].Store(false)
+				}
+			}
+			s.intentMu.Unlock()
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close releases every backend, including detached failed disks, and the
+// intent log. The store must be quiesced; a clean Close syncs backends
+// and clears the intent log first (so the next open skips recovery), and
+// operations after Close have undefined results.
 func (s *Store) Close() error {
 	s.admin.Lock()
 	defer s.admin.Unlock()
@@ -597,7 +908,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	var first error
+	first := s.Sync()
 	st := s.st.Load()
 	for _, d := range st.disks {
 		if err := d.Close(); err != nil && first == nil {
@@ -613,6 +924,9 @@ func (s *Store) Close() error {
 		if err := d.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if err := s.intent.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
