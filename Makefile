@@ -11,7 +11,7 @@ BENCH_PKGS ?= . ./internal/sim ./internal/store
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race store-chaos vet fmt-check fault-smoke lint cover verify clean
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race store-par-race store-chaos vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -57,6 +57,13 @@ telemetry-race:
 # the cmd/store lifecycle driver.
 store-race:
 	$(GO) test -race ./internal/store/... ./cmd/store/...
+
+# Focused race pass over the parallel I/O fast path: serial-vs-parallel
+# byte equivalence through a full fail/rebuild lifecycle, intent-log group
+# commit (coalescing, failure delivery), fan-out ordering/first-error-wins,
+# and concurrent range writers against a sharded rebuild with IOWorkers>1.
+store-par-race:
+	$(GO) test -race -run 'TestParallel|TestIntent|TestFanOut|TestWorkerConfig|TestConcurrentRange' -count=1 ./internal/store/
 
 # The chaos invariant under the race detector: 12 workers against
 # fault-injecting backends (transients, latent sector errors, torn writes,
@@ -107,7 +114,7 @@ cover:
 # test suite, the fault-injection, parallel-sweep, telemetry and storage-
 # engine race smokes, the storage chaos invariant, and a benchmark smoke
 # pass.
-verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race store-chaos bench-smoke
+verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race store-par-race store-chaos bench-smoke
 	@echo "verify: OK"
 
 clean:

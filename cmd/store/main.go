@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,8 @@ type config struct {
 	scrubThrottle time.Duration
 	retries       int
 	failThreshold int
+	ioWorkers     int
+	rebuildWork   int
 }
 
 func main() {
@@ -80,6 +83,8 @@ func main() {
 	flag.DurationVar(&cfg.scrubThrottle, "scrub-throttle", 0, "scrub throttle per stripe (e.g. 100us)")
 	flag.IntVar(&cfg.retries, "retries", 0, "transient-error retries per op (0 = engine default)")
 	flag.IntVar(&cfg.failThreshold, "fail-threshold", 0, "auto-fail a disk after this many persistent errors (0 = off)")
+	flag.IntVar(&cfg.ioWorkers, "io-workers", 0, "intra-request I/O fan-out width (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.rebuildWork, "rebuild-workers", 0, "concurrent rebuild/scrub shards (0 = io-workers)")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "store:", err)
@@ -107,6 +112,8 @@ func run(cfg config, out io.Writer) error {
 		ScrubThrottle:   cfg.scrubThrottle,
 		Retries:         cfg.retries,
 		FailThreshold:   cfg.failThreshold,
+		IOWorkers:       cfg.ioWorkers,
+		RebuildWorkers:  cfg.rebuildWork,
 	}
 	if cfg.failDisk < 0 || cfg.failDisk >= cfg.c {
 		return fmt.Errorf("-fail %d out of range [0,%d)", cfg.failDisk, cfg.c)
@@ -181,9 +188,17 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "crash recovery: resynced %d stripes (%d repaired)\n", st.ResyncedStripes, st.ResyncRepairs)
 	}
 
+	ioWorkers := cfg.ioWorkers
+	if ioWorkers < 1 {
+		ioWorkers = runtime.GOMAXPROCS(0)
+	}
+	rebuildWorkers := cfg.rebuildWork
+	if rebuildWorkers < 1 {
+		rebuildWorkers = ioWorkers
+	}
 	total := s.DataUnits()
-	fmt.Fprintf(out, "store: C=%d G=%d, %d data units x %d B (%.1f MB usable), %d clients\n",
-		cfg.c, cfg.g, total, cfg.unitSize, float64(total*int64(cfg.unitSize))/1e6, cfg.clients)
+	fmt.Fprintf(out, "store: C=%d G=%d, %d data units x %d B (%.1f MB usable), %d clients, %d io-workers, %d rebuild-workers\n",
+		cfg.c, cfg.g, total, cfg.unitSize, float64(total*int64(cfg.unitSize))/1e6, cfg.clients, ioWorkers, rebuildWorkers)
 
 	// version[n] is unit n's last written version; clients own disjoint
 	// unit ranges so each slot has a single writer.
@@ -200,6 +215,17 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "filled %d units\n", total)
+
+	// phases accumulates one row per load phase (plus the rebuild) for
+	// the lifecycle summary printed before the verdict.
+	type phaseStat struct {
+		name    string
+		ops     int64
+		secs    float64
+		mbps    float64
+		rebuild bool
+	}
+	var phases []phaseStat
 
 	// loadPhase runs the client mix for the phase duration; clients
 	// verify every read against their own last write as they go.
@@ -255,8 +281,10 @@ func run(cfg config, out io.Writer) error {
 		}
 		el := time.Since(start).Seconds()
 		n := ops.Load()
+		mbps := float64(n) * float64(cfg.unitSize) / 1e6 / el
+		phases = append(phases, phaseStat{name: name, ops: n, secs: el, mbps: mbps})
 		fmt.Fprintf(out, "%-12s %9d ops in %.2fs  (%.0f ops/s, %.1f MB/s), mode %s\n",
-			name, n, el, float64(n)/el, float64(n)*float64(cfg.unitSize)/1e6/el, s.Mode())
+			name, n, el, float64(n)/el, mbps, s.Mode())
 		return nil
 	}
 
@@ -314,7 +342,13 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	done, rTotal := s.RebuildProgress()
-	fmt.Fprintf(out, "rebuild complete: %d/%d units in %.2fs\n", done, rTotal, time.Since(rebuildStart).Seconds())
+	rebuildSecs := time.Since(rebuildStart).Seconds()
+	phases = append(phases, phaseStat{
+		name: "rebuild", ops: done, secs: rebuildSecs,
+		mbps:    float64(done) * float64(cfg.unitSize) / 1e6 / rebuildSecs,
+		rebuild: true,
+	})
+	fmt.Fprintf(out, "rebuild complete: %d/%d units in %.2fs\n", done, rTotal, rebuildSecs)
 
 	if err := loadPhase("healed"); err != nil {
 		return err
@@ -351,6 +385,17 @@ func run(cfg config, out io.Writer) error {
 	}
 	if err := s.Sync(); err != nil {
 		return err
+	}
+	// Lifecycle summary: one row per phase so the effect of -io-workers
+	// and -rebuild-workers is visible at a glance across the run.
+	fmt.Fprintf(out, "lifecycle summary (%d io-workers, %d rebuild-workers):\n", ioWorkers, rebuildWorkers)
+	for _, p := range phases {
+		if p.rebuild {
+			fmt.Fprintf(out, "  %-12s %8.1f MB/s  (%d units reconstructed in %.2fs wall-clock)\n",
+				p.name, p.mbps, p.ops, p.secs)
+			continue
+		}
+		fmt.Fprintf(out, "  %-12s %8.1f MB/s  (%d ops in %.2fs)\n", p.name, p.mbps, p.ops, p.secs)
 	}
 	st := s.Stats()
 	fmt.Fprintf(out, "stats: %d reads (%d reconstructed on the fly), %d writes (%d folded, %d redirected), %d units rebuilt\n",

@@ -15,12 +15,16 @@ func TestRunMemScenario(t *testing.T) {
 		c: 7, g: 3, units: 64, unitSize: 512,
 		backend: "mem", clients: 4, phaseSecs: 0.05,
 		readFrac: 0.5, throttle: 50 * time.Microsecond, failDisk: 2,
+		ioWorkers: 8, rebuildWork: 4,
 	}
 	if err := run(cfg, &out); err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"fault-free", "degraded", "rebuilding", "healed", "verify: OK"} {
+	for _, want := range []string{
+		"fault-free", "degraded", "rebuilding", "healed", "verify: OK",
+		"8 io-workers, 4 rebuild-workers", "lifecycle summary", "wall-clock",
+	} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("output missing %q:\n%s", want, got)
 		}

@@ -82,6 +82,11 @@ func TestChaosAcknowledgedWritesSurviveFaultsAndRebuild(t *testing.T) {
 	s, fds := faultStore(t, c, g, 64, 512, mk, Config{
 		Retries:      6,
 		RetryBackoff: 100 * time.Microsecond,
+		// Run the chaos mix through the parallel fast path: fanned
+		// survivor gathers and commits racing 12 clients, a sharded
+		// rebuild, and group-committed intent marks, all under -race.
+		IOWorkers:      8,
+		RebuildWorkers: 4,
 	})
 
 	// Contiguous ownership: worker w owns units [lo, hi) and is the only

@@ -174,9 +174,12 @@ func TestConcurrentRangeWritersWithRebuild(t *testing.T) {
 	const workers = 8
 	lay := testLayout(t, 7, 3)
 	s, err := New(Config{
-		Layout:          lay,
-		UnitsPerDisk:    64,
-		UnitSize:        512,
+		Layout:       lay,
+		UnitsPerDisk: 64,
+		UnitSize:     512,
+		// Fan range-op stripe jobs and a sharded rebuild under -race.
+		IOWorkers:       8,
+		RebuildWorkers:  4,
 		RebuildThrottle: 100 * time.Microsecond,
 	})
 	if err != nil {

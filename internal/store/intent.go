@@ -24,19 +24,32 @@ func intentRegions(numStripes int64) int64 {
 	return (numStripes + intentRegionStripes - 1) / intentRegionStripes
 }
 
-// IntentLog persists the dirty-region bitmap. Mark and Clear must be
-// durable when they return; the engine serializes calls. Implementations:
-// a crash-safe file log (OpenFileIntent) and an in-memory one (used
-// automatically when Config.Intent is nil, making mem-backed stores pay
-// the same code path with no durability).
+// IntentLog persists the dirty-region bitmap. Mark/MarkBatch and
+// Clear/ClearBatch must be durable when they return; the engine
+// serializes calls. The batch forms exist because durability barriers
+// dominate the cost: the engine's group commit folds the marks of every
+// concurrent first-writer into one MarkBatch, and recovery/Sync clear
+// whole region sets at once. Implementations: a crash-safe file log
+// (OpenFileIntent) and an in-memory one (used automatically when
+// Config.Intent is nil, making mem-backed stores pay the same code path
+// with no durability).
 type IntentLog interface {
 	// Init sizes (or validates) the log for the given region count and
 	// returns the regions recorded dirty by a previous incarnation.
 	Init(regions int64) (dirty []int64, err error)
 	// Mark durably records region r dirty.
 	Mark(r int64) error
+	// MarkBatch durably records every listed region dirty with a single
+	// durability barrier. On error none, some, or all marks may have
+	// landed — safe, because a spurious mark only costs a resync.
+	MarkBatch(rs []int64) error
 	// Clear durably records region r clean.
 	Clear(r int64) error
+	// ClearBatch durably records every listed region clean with a single
+	// durability barrier. On error a region's on-disk state is
+	// indeterminate — safe in the conservative direction for the same
+	// reason.
+	ClearBatch(rs []int64) error
 	// Close releases the log's resources.
 	Close() error
 }
@@ -53,7 +66,19 @@ func (m *memIntent) Init(regions int64) ([]int64, error) {
 }
 func (m *memIntent) Mark(r int64) error  { m.dirty[r] = true; return nil }
 func (m *memIntent) Clear(r int64) error { m.dirty[r] = false; return nil }
-func (m *memIntent) Close() error        { return nil }
+func (m *memIntent) MarkBatch(rs []int64) error {
+	for _, r := range rs {
+		m.dirty[r] = true
+	}
+	return nil
+}
+func (m *memIntent) ClearBatch(rs []int64) error {
+	for _, r := range rs {
+		m.dirty[r] = false
+	}
+	return nil
+}
+func (m *memIntent) Close() error { return nil }
 
 // fileIntent is the crash-safe intent log: a small header plus one byte
 // per region, fsynced on every Mark and Clear. Marks are rare (first
@@ -152,8 +177,21 @@ func (l *fileIntent) set(r int64, v byte) error {
 	return l.f.Sync()
 }
 
-func (l *fileIntent) Mark(r int64) error  { return l.set(r, 1) }
-func (l *fileIntent) Clear(r int64) error { return l.set(r, 0) }
+// setBatch writes every region's byte, then pays one fsync for the lot —
+// the group-commit payoff on the file-backed path.
+func (l *fileIntent) setBatch(rs []int64, v byte) error {
+	for _, r := range rs {
+		if _, err := l.f.WriteAt([]byte{v}, intentHeaderLen+r); err != nil {
+			return err
+		}
+	}
+	return l.f.Sync()
+}
+
+func (l *fileIntent) Mark(r int64) error          { return l.set(r, 1) }
+func (l *fileIntent) Clear(r int64) error         { return l.set(r, 0) }
+func (l *fileIntent) MarkBatch(rs []int64) error  { return l.setBatch(rs, 1) }
+func (l *fileIntent) ClearBatch(rs []int64) error { return l.setBatch(rs, 0) }
 
 func (l *fileIntent) Close() error {
 	if l.f == nil {

@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"declust/internal/layout"
@@ -140,29 +142,101 @@ func (s *Store) writeStamped(d Disk, dn int, off int64, phys []byte) error {
 	return s.writePhysRaw(d, dn, off, phys)
 }
 
-// xorOthersInto computes the contents of unit u as the XOR of every other
-// unit of its stripe, into out (one logical unit). It requires every
-// other unit readable and valid: a lost or damaged sibling makes the
-// stripe unrecoverable. Caller holds (at least) the stripe's read lock.
-func (s *Store) xorOthersInto(st *diskState, u layout.Loc, out []byte) error {
-	surv := layout.SurvivingUnits(s.lay, u)
-	phys := s.getBuf()
-	defer s.putBuf(phys)
-	for i, o := range surv {
-		if st.lost(o) {
-			return fmt.Errorf("%w: %v is damaged and %v is lost", ErrUnrecoverable, u, o)
+// lostUnitError aborts a gather whose unit set contains a lost unit; the
+// caller formats it into its own unrecoverable-stripe message.
+type lostUnitError struct{ u layout.Loc }
+
+func (e *lostUnitError) Error() string {
+	return fmt.Sprintf("store: unit %v is lost", e.u)
+}
+
+// damagedUnit records a unit a gather found damaged (media error or
+// checksum mismatch), in ascending item order.
+type damagedUnit struct {
+	idx int
+	loc layout.Loc
+	err error
+}
+
+// xorUnitsInto reads every listed unit and XORs its data into dst (which
+// the caller has prepared — XOR is order-independent, so the result is
+// bit-identical however the reads land). The reads fan out across idle
+// I/O pool helpers. A lost unit or a hard read error aborts the gather;
+// damaged units (needsHeal) are skipped and returned sorted by item index
+// so callers holding the stripe's write lock can heal them serially —
+// healing rewrites units, which must never race the batch's other reads.
+// Caller holds (at least) the stripe's read lock.
+func (s *Store) xorUnitsInto(st *diskState, units []layout.Loc, dst []byte) ([]damagedUnit, error) {
+	if s.ioWorkers == 1 {
+		// Serial store: read in index order on this goroutine, building
+		// no closures — the zero-extra-alloc path degraded reads had
+		// before the pool existed.
+		var damaged []damagedUnit
+		phys := s.getBuf()
+		defer s.putBuf(phys)
+		for i, u := range units {
+			if st.lost(u) {
+				return nil, &lostUnitError{u: u}
+			}
+			if err := s.readPhys(st.disk(u), u.Disk, u.Offset, *phys); err != nil {
+				if needsHeal(err) {
+					damaged = append(damaged, damagedUnit{idx: i, loc: u, err: err})
+					continue
+				}
+				return nil, err
+			}
+			xorInto(dst, (*phys)[:s.unitSize])
 		}
-		if err := s.readPhys(st.disk(o), o.Disk, o.Offset, *phys); err != nil {
+		return damaged, nil
+	}
+	var mu sync.Mutex
+	var damaged []damagedUnit
+	err := s.fanOut(len(units), func(i int) error {
+		u := units[i]
+		if st.lost(u) {
+			return &lostUnitError{u: u}
+		}
+		phys := s.getBuf()
+		defer s.putBuf(phys)
+		if err := s.readPhys(st.disk(u), u.Disk, u.Offset, *phys); err != nil {
 			if needsHeal(err) {
-				return fmt.Errorf("%w: %v and %v are both damaged: %v", ErrUnrecoverable, u, o, err)
+				mu.Lock()
+				damaged = append(damaged, damagedUnit{idx: i, loc: u, err: err})
+				mu.Unlock()
+				return nil
 			}
 			return err
 		}
-		if i == 0 {
-			copy(out, (*phys)[:s.unitSize])
-			continue
+		mu.Lock()
+		xorInto(dst, (*phys)[:s.unitSize])
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(damaged, func(a, b int) bool { return damaged[a].idx < damaged[b].idx })
+	return damaged, nil
+}
+
+// xorOthersInto computes the contents of unit u as the XOR of every other
+// unit of its stripe, into out (one logical unit), fanning the survivor
+// reads across idle I/O workers. It requires every other unit readable
+// and valid: a lost or damaged sibling makes the stripe unrecoverable.
+// Caller holds (at least) the stripe's read lock.
+func (s *Store) xorOthersInto(st *diskState, u layout.Loc, out []byte) error {
+	zeroBytes(out)
+	damaged, err := s.xorUnitsInto(st, layout.SurvivingUnits(s.lay, u), out)
+	if err != nil {
+		var le *lostUnitError
+		if errors.As(err, &le) {
+			return fmt.Errorf("%w: %v is damaged and %v is lost", ErrUnrecoverable, u, le.u)
 		}
-		xorInto(out, (*phys)[:s.unitSize])
+		return err
+	}
+	if len(damaged) > 0 {
+		d := damaged[0]
+		return fmt.Errorf("%w: %v and %v are both damaged: %v", ErrUnrecoverable, u, d.loc, d.err)
 	}
 	return nil
 }

@@ -19,35 +19,80 @@ func (s *Store) checkRange(start int64, buf []byte) (int64, error) {
 	return n, nil
 }
 
+// rangeScratch holds one range-write stripe job's reusable slices,
+// recycled through Store.scratch so concurrent jobs don't allocate.
+type rangeScratch struct {
+	locs  []layout.Loc
+	datas [][]byte
+}
+
+// span returns the intersection of stripe's data units with the request
+// [start, start+n), as a logical-unit interval [lo, hi).
+func (s *Store) span(stripe, start, n, perStripe int64) (lo, hi int64) {
+	lo = stripe * perStripe
+	if lo < start {
+		lo = start
+	}
+	hi = (stripe + 1) * perStripe
+	if hi > start+n {
+		hi = start + n
+	}
+	return lo, hi
+}
+
 // ReadRange reads the logical data units [start, start+len(dst)/UnitSize)
-// into dst, taking each stripe's lock once for all of its units.
+// into dst, taking each stripe's lock once for all of its units. Each
+// touched stripe is an independent job — its units land in a disjoint
+// window of dst — so multi-stripe ranges fan out across idle I/O workers,
+// with the first error (lowest stripe) cancelling unstarted jobs.
 func (s *Store) ReadRange(start int64, dst []byte) error {
 	n, err := s.checkRange(start, dst)
 	if err != nil {
 		return err
 	}
 	perStripe := int64(s.lay.G() - 1)
-	for u := start; u < start+n; {
-		stripe := u / perStripe
-		end := (stripe + 1) * perStripe
-		if end > start+n {
-			end = start + n
+	first := start / perStripe
+	segs := int((start+n-1)/perStripe - first + 1)
+	if segs == 1 {
+		if err := s.readStripeSpan(first, start, start, start+n, dst); err != nil {
+			return err
 		}
+		s.reads.Add(n)
+		return nil
+	}
+	err = s.fanOut(segs, func(i int) error {
+		stripe := first + int64(i)
+		lo, hi := s.span(stripe, start, n, perStripe)
+		return s.readStripeSpan(stripe, start, lo, hi, dst)
+	})
+	if err != nil {
+		return err
+	}
+	s.reads.Add(n)
+	return nil
+}
+
+// readStripeSpan reads the units [lo, hi) — all belonging to stripe —
+// into dst, whose first byte corresponds to logical unit start. Units are
+// read under the stripe's read lock; a damaged unit is repaired under the
+// write lock and the sweep resumes after it.
+func (s *Store) readStripeSpan(stripe, start, lo, hi int64, dst []byte) error {
+	us := int64(s.unitSize)
+	for u := lo; u < hi; {
 		healU := int64(-1)
 		var healLoc layout.Loc
+		var err error
 		s.locks.rlock(stripe)
-		for ; u < end && err == nil; u++ {
+		for ; u < hi && err == nil; u++ {
 			loc := s.mapper.Loc(u)
-			err = s.readLocked(stripe, loc, dst[(u-start)*int64(s.unitSize):(u-start+1)*int64(s.unitSize)])
+			err = s.readLocked(stripe, loc, dst[(u-start)*us:(u-start+1)*us])
 			if needsHeal(err) {
 				healU, healLoc = u, loc
 			}
 		}
 		s.locks.runlock(stripe)
 		if healU >= 0 {
-			// A unit is damaged: repair it under the stripe's write lock,
-			// then resume the sweep after it.
-			if err = s.healRead(stripe, healLoc, dst[(healU-start)*int64(s.unitSize):(healU-start+1)*int64(s.unitSize)]); err != nil {
+			if err = s.healRead(stripe, healLoc, dst[(healU-start)*us:(healU-start+1)*us]); err != nil {
 				return err
 			}
 			u = healU + 1
@@ -57,41 +102,57 @@ func (s *Store) ReadRange(start int64, dst []byte) error {
 			return err
 		}
 	}
-	s.reads.Add(n)
 	return nil
 }
 
 // WriteRange writes src over the logical data units starting at start,
 // one parity update per touched stripe. A segment covering a whole stripe
 // uses the large-write optimization (parity from the new contents, no
-// pre-reads); partial segments read-modify-write.
+// pre-reads); partial segments read-modify-write. Stripe jobs are
+// independent — each takes only its own stripe's lock — so multi-stripe
+// ranges fan out across idle I/O workers.
 func (s *Store) WriteRange(start int64, src []byte) error {
 	n, err := s.checkRange(start, src)
 	if err != nil {
 		return err
 	}
 	perStripe := int64(s.lay.G() - 1)
-	locs := make([]layout.Loc, 0, perStripe)
-	datas := make([][]byte, 0, perStripe)
-	for u := start; u < start+n; {
-		stripe := u / perStripe
-		end := (stripe + 1) * perStripe
-		if end > start+n {
-			end = start + n
-		}
-		locs, datas = locs[:0], datas[:0]
-		for v := u; v < end; v++ {
-			locs = append(locs, s.mapper.Loc(v))
-			datas = append(datas, src[(v-start)*int64(s.unitSize):(v-start+1)*int64(s.unitSize)])
-		}
-		s.locks.lock(stripe)
-		err = s.writeStripeLocked(stripe, locs, datas)
-		s.locks.unlock(stripe)
-		if err != nil {
+	first := start / perStripe
+	segs := int((start+n-1)/perStripe - first + 1)
+	if segs == 1 {
+		if err := s.writeStripeSpan(first, start, start, start+n, src); err != nil {
 			return err
 		}
-		u = end
+		s.writes.Add(n)
+		return nil
+	}
+	err = s.fanOut(segs, func(i int) error {
+		stripe := first + int64(i)
+		lo, hi := s.span(stripe, start, n, perStripe)
+		return s.writeStripeSpan(stripe, start, lo, hi, src)
+	})
+	if err != nil {
+		return err
 	}
 	s.writes.Add(n)
 	return nil
+}
+
+// writeStripeSpan commits the units [lo, hi) — all belonging to stripe —
+// from src, whose first byte corresponds to logical unit start, as one
+// parity update under the stripe's write lock.
+func (s *Store) writeStripeSpan(stripe, start, lo, hi int64, src []byte) error {
+	sc := s.scratch.Get().(*rangeScratch)
+	defer s.scratch.Put(sc)
+	locs, datas := sc.locs[:0], sc.datas[:0]
+	us := int64(s.unitSize)
+	for v := lo; v < hi; v++ {
+		locs = append(locs, s.mapper.Loc(v))
+		datas = append(datas, src[(v-start)*us:(v-start+1)*us])
+	}
+	sc.locs, sc.datas = locs, datas
+	s.locks.lock(stripe)
+	err := s.writeStripeLocked(stripe, locs, datas)
+	s.locks.unlock(stripe)
+	return err
 }

@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -131,10 +133,22 @@ type ScrubResult struct {
 	Unrecoverable int64
 }
 
+// scrubShard is one worker's slice of a Scrub sweep.
+type scrubShard struct {
+	res     ScrubResult
+	unrec   error // first unrecoverable-stripe error in this shard
+	hardErr error // hard error that stopped the sweep, nil if none
+	hardAt  int64 // stripe the hard error struck
+}
+
 // Scrub sweeps every stripe, verifying checksums and parity and repairing
 // damage in place, stripe by stripe under the stripe locks, while user
-// operations continue — the background patrol read. Config.ScrubThrottle
-// paces the sweep. Stripes with a lost unit are skipped. Unrecoverable
+// operations continue — the background patrol read. The sweep is split
+// into Config.RebuildWorkers contiguous shards scrubbed concurrently
+// (each stripe still verified under its own lock); Config.ScrubThrottle
+// paces the sweep in aggregate — each worker sleeps workers× the
+// configured pause, so the knob means the same wall-clock sweep rate at
+// any worker count. Stripes with a lost unit are skipped. Unrecoverable
 // stripes are counted, left untouched, and reported in the returned
 // error; all other stripes are still verified. A clean sweep (no
 // unrecoverable damage) clears the engine's parity-doubt latch, letting
@@ -146,44 +160,83 @@ func (s *Store) Scrub() (ScrubResult, error) {
 	}
 	defer s.scrubbing.Store(false)
 
+	workers := s.rebuildWorkers
+	if int64(workers) > s.numStripes {
+		workers = int(s.numStripes)
+	}
+	shards := make([]scrubShard, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := s.numStripes * int64(w) / int64(workers)
+		hi := s.numStripes * int64(w+1) / int64(workers)
+		wg.Add(1)
+		go func(o *scrubShard, lo, hi int64) {
+			defer wg.Done()
+			for stripe := lo; stripe < hi && !stop.Load(); stripe++ {
+				s.locks.lock(stripe)
+				st := s.st.Load()
+				if s.stripeHasLost(st, stripe) {
+					o.res.Skipped++
+					s.locks.unlock(stripe)
+					continue
+				}
+				fix, err := s.resyncStripe(st, stripe)
+				s.locks.unlock(stripe)
+				switch {
+				case err == nil:
+					o.res.Stripes++
+					switch fix {
+					case fixUnit:
+						o.res.UnitRepairs++
+						s.scrubRepairs.Add(1)
+					case fixParity:
+						o.res.ParityRewrites++
+						s.scrubFixes.Add(1)
+					}
+				case isUnrecoverable(err):
+					o.res.Unrecoverable++
+					if o.unrec == nil {
+						o.unrec = err
+					}
+				default:
+					// A hard error (failed backend, exhausted retries)
+					// stops the whole sweep; verified counts still report.
+					o.hardErr = fmt.Errorf("store: scrub of stripe %d: %w", stripe, err)
+					o.hardAt = stripe
+					stop.Store(true)
+					return
+				}
+				if s.scrubThrottle > 0 {
+					time.Sleep(s.scrubThrottle * time.Duration(workers))
+				}
+			}
+		}(&shards[w], lo, hi)
+	}
+	wg.Wait()
+
 	var res ScrubResult
-	var firstErr error
-	for stripe := int64(0); stripe < s.numStripes; stripe++ {
-		s.locks.lock(stripe)
-		st := s.st.Load()
-		if s.stripeHasLost(st, stripe) {
-			res.Skipped++
-			s.locks.unlock(stripe)
-			continue
+	var firstErr, hardErr error
+	hardAt := int64(-1)
+	for w := range shards {
+		o := &shards[w]
+		res.Stripes += o.res.Stripes
+		res.Skipped += o.res.Skipped
+		res.UnitRepairs += o.res.UnitRepairs
+		res.ParityRewrites += o.res.ParityRewrites
+		res.Unrecoverable += o.res.Unrecoverable
+		if o.unrec != nil && firstErr == nil {
+			firstErr = o.unrec // shards ascend, so this is the lowest shard's first
 		}
-		fix, err := s.resyncStripe(st, stripe)
-		s.locks.unlock(stripe)
-		switch {
-		case err == nil:
-			res.Stripes++
-			switch fix {
-			case fixUnit:
-				res.UnitRepairs++
-				s.scrubRepairs.Add(1)
-			case fixParity:
-				res.ParityRewrites++
-				s.scrubFixes.Add(1)
-			}
-		case isUnrecoverable(err):
-			res.Unrecoverable++
-			if firstErr == nil {
-				firstErr = err
-			}
-		default:
-			s.scrubbedStripes.Add(res.Stripes)
-			return res, fmt.Errorf("store: scrub of stripe %d: %w", stripe, err)
-		}
-		if s.scrubThrottle > 0 {
-			time.Sleep(s.scrubThrottle)
+		if o.hardErr != nil && (hardAt < 0 || o.hardAt < hardAt) {
+			hardErr, hardAt = o.hardErr, o.hardAt
 		}
 	}
-	s.scrubs.Add(1)
 	s.scrubbedStripes.Add(res.Stripes)
+	if hardErr != nil {
+		return res, hardErr
+	}
+	s.scrubs.Add(1)
 	if firstErr == nil {
 		// Every reachable stripe verified clean (or was repaired): any
 		// doubt left by an earlier failed write is resolved.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,23 @@ type Config struct {
 	// unit count at the physical unit size; backends reporting a
 	// Geometry are validated against the store's.
 	Disks []Disk
+	// IOWorkers bounds the store's I/O helper goroutines, the parallel
+	// fast path: multi-unit operations (degraded-read survivor gathers,
+	// parity pre-reads and commits, range operations, CheckParity) fan
+	// their independent disk accesses across up to IOWorkers−1 idle
+	// helpers plus the submitting goroutine. Helpers are acquired with a
+	// non-blocking try, so a saturated store degrades to serial issue
+	// instead of queueing. 1 disables fan-out entirely (the serial
+	// engine, bit-identical results); 0 defaults to GOMAXPROCS.
+	IOWorkers int
+	// RebuildWorkers is how many shards Rebuild and Scrub sweep
+	// concurrently; the declustered layout spreads each shard's
+	// reconstruction reads over all surviving disks, so the sweep scales
+	// until the survivors saturate. RebuildThrottle/ScrubThrottle pacing
+	// is aggregate: each worker sleeps workers× the configured throttle,
+	// so the knob means the same wall-clock sweep rate at any worker
+	// count. 0 defaults to IOWorkers.
+	RebuildWorkers int
 	// RebuildThrottle pauses the rebuild sweep between units, trading
 	// rebuild time for user response — the paper's §9 throttling knob,
 	// and the way tests hold the rebuild window open.
@@ -172,6 +190,10 @@ type Store struct {
 	failThreshold int
 	scrubThrottle time.Duration
 
+	ioWorkers      int
+	rebuildWorkers int
+	pool           ioPool
+
 	locks lockTable
 	st    atomic.Pointer[diskState]
 
@@ -181,11 +203,17 @@ type Store struct {
 	detached   []Disk // failed backends, closed with the store
 	closed     bool
 
-	intent       IntentLog
-	intentMu     sync.Mutex // serializes Mark/Clear persistence
-	regionDirty  []atomic.Bool
-	regionActive []atomic.Int32
-	parityDoubt  atomic.Bool // a write failed mid-stripe; hold intent until a clean scrub
+	intent         IntentLog
+	intentMu       sync.Mutex // serializes Mark/Clear persistence, guards the group-commit state below
+	intentCond     sync.Cond  // signals group-commit followers that a flush finished
+	intentPend     []int64    // regions queued for the next group-commit flush
+	intentFlushing bool       // a leader is flushing; arrivals queue for the next batch
+	intentFailed   map[int64]error
+	regionDirty    []atomic.Bool
+	regionActive   []atomic.Int32
+	parityDoubt    atomic.Bool // a write failed mid-stripe; hold intent until a clean scrub
+
+	scratch sync.Pool // rangeScratch for per-stripe write jobs
 
 	diskErrs []atomic.Int64 // persistent-error score per slot
 
@@ -238,6 +266,18 @@ func New(cfg Config) (*Store, error) {
 	if cfg.FailThreshold < 0 {
 		return nil, fmt.Errorf("store: negative fail threshold %d", cfg.FailThreshold)
 	}
+	if cfg.IOWorkers == 0 {
+		cfg.IOWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.IOWorkers < 1 || cfg.IOWorkers > 1024 {
+		return nil, fmt.Errorf("store: %d I/O workers outside [1,1024]", cfg.IOWorkers)
+	}
+	if cfg.RebuildWorkers == 0 {
+		cfg.RebuildWorkers = cfg.IOWorkers
+	}
+	if cfg.RebuildWorkers < 1 || cfg.RebuildWorkers > 1024 {
+		return nil, fmt.Errorf("store: %d rebuild workers outside [1,1024]", cfg.RebuildWorkers)
+	}
 	l := cfg.Layout
 	usable := layout.UsableUnitsPerDisk(l, cfg.UnitsPerDisk)
 	if usable == 0 {
@@ -261,24 +301,29 @@ func New(cfg Config) (*Store, error) {
 		}
 	}
 	s := &Store{
-		lay:           l,
-		mapper:        layout.StripeIndexMapper{L: l},
-		unitSize:      cfg.UnitSize,
-		physSize:      PhysUnitSize(cfg.UnitSize),
-		unitsPerDisk:  usable,
-		numStripes:    layout.UsableStripes(l, cfg.UnitsPerDisk),
-		dataUnits:     layout.DataUnits(l, cfg.UnitsPerDisk),
-		throttle:      cfg.RebuildThrottle,
-		retries:       cfg.Retries,
-		retryBackoff:  cfg.RetryBackoff,
-		failThreshold: cfg.FailThreshold,
-		scrubThrottle: cfg.ScrubThrottle,
-		diskErrs:      make([]atomic.Int64, c),
+		lay:            l,
+		mapper:         layout.StripeIndexMapper{L: l},
+		unitSize:       cfg.UnitSize,
+		physSize:       PhysUnitSize(cfg.UnitSize),
+		unitsPerDisk:   usable,
+		numStripes:     layout.UsableStripes(l, cfg.UnitsPerDisk),
+		dataUnits:      layout.DataUnits(l, cfg.UnitsPerDisk),
+		throttle:       cfg.RebuildThrottle,
+		retries:        cfg.Retries,
+		retryBackoff:   cfg.RetryBackoff,
+		failThreshold:  cfg.FailThreshold,
+		scrubThrottle:  cfg.ScrubThrottle,
+		ioWorkers:      cfg.IOWorkers,
+		rebuildWorkers: cfg.RebuildWorkers,
+		diskErrs:       make([]atomic.Int64, c),
 	}
+	s.pool.free.Store(int32(s.ioWorkers - 1))
+	s.intentCond.L = &s.intentMu
 	s.bufs.New = func() any {
 		b := make([]byte, s.physSize)
 		return &b
 	}
+	s.scratch.New = func() any { return new(rangeScratch) }
 	s.st.Store(&diskState{disks: disks, failed: -1})
 
 	s.intent = cfg.Intent
@@ -339,30 +384,75 @@ func (s *Store) recoverIntent(dirty []int64) error {
 				s.resyncRepairs.Add(1)
 			}
 		}
-		if err := s.intent.Clear(r); err != nil {
-			return fmt.Errorf("store: intent log: %w", err)
-		}
+	}
+	// All dirty regions are consistent again: clear them with one
+	// durability barrier. A crash before the clear lands just resyncs
+	// them again on the next open.
+	if err := s.intent.ClearBatch(dirty); err != nil {
+		return fmt.Errorf("store: intent log: %w", err)
 	}
 	return nil
 }
 
 // markIntent durably marks stripe region r dirty before its first write.
-// The fast path is one atomic load; the slow path (first write into a
-// clean region) persists the mark under intentMu.
+// The fast path is one atomic load. The slow path (first write into a
+// clean region) is a group commit: the writer queues its region and
+// either leads — draining every queued region into one MarkBatch, which
+// costs a single durability barrier however many writers piled on — or
+// follows, waiting for the flush that covers its region. The natural
+// flush window is the leader's own barrier: every first-writer that
+// arrives while it is in flight lands in the next batch. Either way the
+// mark is durable before markIntent returns, preserving the crash
+// contract: no disk write ever precedes its region's durable mark.
 func (s *Store) markIntent(r int64) error {
 	if s.regionDirty[r].Load() {
 		return nil
 	}
 	s.intentMu.Lock()
 	defer s.intentMu.Unlock()
-	if s.regionDirty[r].Load() {
-		return nil
+	for {
+		if s.regionDirty[r].Load() {
+			return nil
+		}
+		if err, ok := s.intentFailed[r]; ok {
+			delete(s.intentFailed, r)
+			return fmt.Errorf("store: intent log: %w", err)
+		}
+		queued := false
+		for _, q := range s.intentPend {
+			if q == r {
+				queued = true
+				break
+			}
+		}
+		if !queued {
+			s.intentPend = append(s.intentPend, r)
+		}
+		if s.intentFlushing {
+			s.intentCond.Wait()
+			continue
+		}
+		s.intentFlushing = true
+		for len(s.intentPend) > 0 {
+			batch := s.intentPend
+			s.intentPend = nil
+			s.intentMu.Unlock()
+			err := s.intent.MarkBatch(batch)
+			s.intentMu.Lock()
+			for _, b := range batch {
+				if err == nil {
+					s.regionDirty[b].Store(true)
+				} else {
+					if s.intentFailed == nil {
+						s.intentFailed = make(map[int64]error)
+					}
+					s.intentFailed[b] = err
+				}
+			}
+		}
+		s.intentFlushing = false
+		s.intentCond.Broadcast()
 	}
-	if err := s.intent.Mark(r); err != nil {
-		return fmt.Errorf("store: intent log: %w", err)
-	}
-	s.regionDirty[r].Store(true)
-	return nil
 }
 
 func (s *Store) getBuf() *[]byte  { return s.bufs.Get().(*[]byte) }
@@ -503,24 +593,22 @@ func (s *Store) healRead(stripe int64, loc layout.Loc, dst []byte) error {
 }
 
 // reconstructLocked computes loc's contents into dst as the XOR of its
-// stripe's surviving units. Caller holds (at least) the stripe's read
-// lock; damaged survivors are reported (needsHeal), not repaired.
+// stripe's surviving units, fanning the G−1 reads across idle I/O
+// workers. Caller holds (at least) the stripe's read lock; damaged
+// survivors are reported (needsHeal), not repaired — repairing requires
+// the write lock, which healRead takes for the exclusive retry.
 func (s *Store) reconstructLocked(st *diskState, loc layout.Loc, dst []byte) error {
-	surv := layout.SurvivingUnits(s.lay, loc)
-	phys := s.getBuf()
-	defer s.putBuf(phys)
-	for i, u := range surv {
-		if st.lost(u) {
-			return fmt.Errorf("%w: two lost units in one stripe (%v and %v)", ErrUnrecoverable, loc, u)
+	zeroBytes(dst)
+	damaged, err := s.xorUnitsInto(st, layout.SurvivingUnits(s.lay, loc), dst)
+	if err != nil {
+		var le *lostUnitError
+		if errors.As(err, &le) {
+			return fmt.Errorf("%w: two lost units in one stripe (%v and %v)", ErrUnrecoverable, loc, le.u)
 		}
-		if err := s.readPhys(st.disk(u), u.Disk, u.Offset, *phys); err != nil {
-			return err
-		}
-		if i == 0 {
-			copy(dst, (*phys)[:s.unitSize])
-			continue
-		}
-		xorInto(dst, (*phys)[:s.unitSize])
+		return err
+	}
+	if len(damaged) > 0 {
+		return damaged[0].err
 	}
 	return nil
 }
@@ -566,6 +654,11 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 	return nil
 }
 
+// commitStripeLocked performs the stripe's parity-maintaining update.
+// The single-unit path (WriteUnit) runs the exact serial sequence —
+// pre-read, delta, commit — with no fan-out machinery, preserving the
+// zero-extra-alloc hot path; multi-unit commits (range writes) fan their
+// independent pre-reads and commit writes across idle I/O workers.
 func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]byte) error {
 	st := s.st.Load()
 	ploc := layout.ParityLoc(s.lay, stripe)
@@ -574,12 +667,12 @@ func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]by
 		// Lost parity: there is no parity to maintain, so each write is
 		// a single data access (§7); the rebuild sweep recomputes the
 		// parity unit from data when its turn comes.
-		for i, loc := range locs {
-			if err := s.writeDataUnit(st.disk(loc), loc.Disk, loc.Offset, datas[i]); err != nil {
-				return err
-			}
+		if len(locs) == 1 {
+			return s.writeDataUnit(st.disk(locs[0]), locs[0].Disk, locs[0].Offset, datas[0])
 		}
-		return nil
+		return s.fanOut(len(locs), func(i int) error {
+			return s.writeDataUnit(st.disk(locs[i]), locs[i].Disk, locs[i].Offset, datas[i])
+		})
 	}
 
 	// Find the stripe's lost data unit, if any, and whether it is being
@@ -635,10 +728,31 @@ func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]by
 				xorInto(pdata, d)
 			}
 		}
-		obuf := s.getBuf()
-		odata := (*obuf)[:s.unitSize]
+		if len(locs) == 1 {
+			obuf := s.getBuf()
+			odata := (*obuf)[:s.unitSize]
+			g := s.lay.G()
+			pp := s.lay.ParityPos(stripe)
+			for j := 0; j < g; j++ {
+				if j == pp {
+					continue
+				}
+				u := s.lay.Unit(stripe, j)
+				if u == locs[0] {
+					continue
+				}
+				if err := s.readUnitHealing(st, u, odata); err != nil {
+					s.putBuf(obuf)
+					return err
+				}
+				xorInto(pdata, odata)
+			}
+			s.putBuf(obuf)
+			break
+		}
 		g := s.lay.G()
 		pp := s.lay.ParityPos(stripe)
+		units := make([]layout.Loc, 0, g-1)
 		for j := 0; j < g; j++ {
 			if j == pp {
 				continue
@@ -651,59 +765,113 @@ func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]by
 					break
 				}
 			}
-			if written {
-				continue
+			if !written {
+				units = append(units, u)
 			}
-			if err := s.readUnitHealing(st, u, odata); err != nil {
-				s.putBuf(obuf)
-				return err
-			}
-			xorInto(pdata, odata)
 		}
-		s.putBuf(obuf)
+		if err := s.gatherHealing(st, units, pdata); err != nil {
+			return err
+		}
 	default:
 		// Read-modify-write: parity' = parity ⊕ old ⊕ new, folded over
 		// every written unit. All written units are readable here (a
 		// written lost unit takes the branch above). Pre-reads heal
 		// damaged units in place — the write lock is already held.
-		if err := s.readUnitHealing(st, ploc, pdata); err != nil {
-			return err
-		}
-		obuf := s.getBuf()
-		odata := (*obuf)[:s.unitSize]
-		for i, loc := range locs {
-			if err := s.readUnitHealing(st, loc, odata); err != nil {
+		if len(locs) == 1 {
+			if err := s.readUnitHealing(st, ploc, pdata); err != nil {
+				return err
+			}
+			obuf := s.getBuf()
+			odata := (*obuf)[:s.unitSize]
+			if err := s.readUnitHealing(st, locs[0], odata); err != nil {
 				s.putBuf(obuf)
 				return err
 			}
 			xorInto(pdata, odata)
-			xorInto(pdata, datas[i])
+			xorInto(pdata, datas[0])
+			s.putBuf(obuf)
+			break
 		}
-		s.putBuf(obuf)
+		// XOR is order-independent, so the old parity and every written
+		// unit's old contents gather concurrently into pdata; the new
+		// contents fold in afterward.
+		zeroBytes(pdata)
+		units := make([]layout.Loc, 0, len(locs)+1)
+		units = append(units, ploc)
+		units = append(units, locs...)
+		if err := s.gatherHealing(st, units, pdata); err != nil {
+			return err
+		}
+		for _, d := range datas {
+			xorInto(pdata, d)
+		}
 	}
 
 	// Commit data, then parity. A written lost unit goes to the
 	// replacement when one is installed (write redirection, which counts
 	// as reconstruction); with no replacement it is dropped — parity now
 	// encodes it, which is the fold.
-	for i, loc := range locs {
-		if i == lostIdx {
-			if st.repl != nil {
-				if err := s.writeDataUnit(st.repl, loc.Disk, loc.Offset, datas[i]); err != nil {
-					return err
-				}
-				s.markRebuilt(st, loc.Offset)
-				s.redirectedWrites.Add(1)
-			} else {
-				s.foldedWrites.Add(1)
-			}
-			continue
-		}
-		if err := s.writeDataUnit(st.disk(loc), loc.Disk, loc.Offset, datas[i]); err != nil {
+	if len(locs) == 1 {
+		if err := s.commitOneLocked(st, locs[0], datas[0], lostIdx == 0); err != nil {
 			return err
 		}
+		return s.writeStamped(st.disk(ploc), ploc.Disk, ploc.Offset, *pbuf)
 	}
-	return s.writeStamped(st.disk(ploc), ploc.Disk, ploc.Offset, *pbuf)
+	// Multi-unit commit: the data writes and the parity write land on
+	// distinct disks, so they fan out as one batch. Ordering among them
+	// carries no crash-consistency weight — the region's durable intent
+	// mark covers any interleaving, and recovery resyncs the stripe.
+	return s.fanOut(len(locs)+1, func(i int) error {
+		if i == len(locs) {
+			return s.writeStamped(st.disk(ploc), ploc.Disk, ploc.Offset, *pbuf)
+		}
+		return s.commitOneLocked(st, locs[i], datas[i], i == lostIdx)
+	})
+}
+
+// commitOneLocked commits one data unit's new contents: to its home slot
+// normally, to the replacement when the unit is lost and one is installed
+// (write redirection), or to parity alone when it is lost with no
+// replacement (the fold — no write at all).
+func (s *Store) commitOneLocked(st *diskState, loc layout.Loc, data []byte, isLost bool) error {
+	if isLost {
+		if st.repl != nil {
+			if err := s.writeDataUnit(st.repl, loc.Disk, loc.Offset, data); err != nil {
+				return err
+			}
+			s.markRebuilt(st, loc.Offset)
+			s.redirectedWrites.Add(1)
+		} else {
+			s.foldedWrites.Add(1)
+		}
+		return nil
+	}
+	return s.writeDataUnit(st.disk(loc), loc.Disk, loc.Offset, data)
+}
+
+// gatherHealing XORs the listed units' contents into dst. The reads fan
+// out raw across idle I/O workers; units they report damaged are then
+// healed serially — the caller holds the stripe's write lock, and a heal
+// rewrites its unit, which must never race the batch's other reads. No
+// listed unit may be lost.
+func (s *Store) gatherHealing(st *diskState, units []layout.Loc, dst []byte) error {
+	damaged, err := s.xorUnitsInto(st, units, dst)
+	if err != nil {
+		return err
+	}
+	if len(damaged) == 0 {
+		return nil
+	}
+	obuf := s.getBuf()
+	defer s.putBuf(obuf)
+	odata := (*obuf)[:s.unitSize]
+	for _, d := range damaged {
+		if err := s.readUnitHealing(st, d.loc, odata); err != nil {
+			return err
+		}
+		xorInto(dst, odata)
+	}
+	return nil
 }
 
 // markRebuilt records (under the stripe lock) that the failed disk's unit
@@ -772,28 +940,66 @@ func (s *Store) Rebuild(repl Disk) error {
 	s.st.Store(st2)
 	s.admin.Unlock()
 
-	buf := s.getBuf()
-	defer s.putBuf(buf)
-	data := (*buf)[:s.unitSize]
-	for off := int64(0); off < s.unitsPerDisk; off++ {
-		loc := layout.Loc{Disk: st2.failed, Offset: off}
-		stripe, _ := s.lay.Locate(loc)
-		s.locks.lock(stripe)
-		var err error
-		if !st2.rebuilt[off] {
-			if err = s.xorOthersInto(st2, loc, data); err == nil {
-				if err = s.writeDataUnit(repl, st2.failed, off, data); err == nil {
-					s.markRebuilt(st2, off)
+	// Sweep the failed disk's offsets in RebuildWorkers contiguous shards.
+	// Two offsets of one disk always belong to different stripes (a
+	// single-failure layout places at most one unit of a stripe per disk),
+	// so shards never contend on a stripe's own lock, and the declustered
+	// layout spreads each shard's survivor reads over the whole array.
+	// Throttle pacing is aggregate: each worker sleeps workers× the
+	// configured pause, so the knob means the same sweep rate — and holds
+	// the rebuild window open just as long — at any worker count.
+	workers := s.rebuildWorkers
+	if int64(workers) > s.unitsPerDisk {
+		workers = int(s.unitsPerDisk)
+	}
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		errMu   sync.Mutex
+		swErr   error
+		swErrAt int64
+	)
+	for w := 0; w < workers; w++ {
+		lo := s.unitsPerDisk * int64(w) / int64(workers)
+		hi := s.unitsPerDisk * int64(w+1) / int64(workers)
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			buf := s.getBuf()
+			defer s.putBuf(buf)
+			data := (*buf)[:s.unitSize]
+			for off := lo; off < hi && !stop.Load(); off++ {
+				loc := layout.Loc{Disk: st2.failed, Offset: off}
+				stripe, _ := s.lay.Locate(loc)
+				s.locks.lock(stripe)
+				var err error
+				if !st2.rebuilt[off] {
+					if err = s.xorOthersInto(st2, loc, data); err == nil {
+						if err = s.writeDataUnit(repl, st2.failed, off, data); err == nil {
+							s.markRebuilt(st2, off)
+						}
+					}
+				}
+				s.locks.unlock(stripe)
+				if err != nil {
+					errMu.Lock()
+					if swErr == nil || off < swErrAt {
+						swErr = fmt.Errorf("store: rebuild of %v: %w", loc, err)
+						swErrAt = off
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if s.throttle > 0 {
+					time.Sleep(s.throttle * time.Duration(workers))
 				}
 			}
-		}
-		s.locks.unlock(stripe)
-		if err != nil {
-			return fmt.Errorf("store: rebuild of %v: %w", loc, err)
-		}
-		if s.throttle > 0 {
-			time.Sleep(s.throttle)
-		}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if swErr != nil {
+		return swErr
 	}
 
 	// Heal: swap the replacement into the slot and return to Healthy.
@@ -815,44 +1021,35 @@ func (s *Store) Rebuild(repl Disk) error {
 // skipped — their consistency is exactly what degraded reads exercise.
 // CheckParity reports damage; Scrub repairs it.
 func (s *Store) CheckParity() error {
-	buf := s.getBuf()
-	acc := s.getBuf()
-	defer s.putBuf(buf)
-	defer s.putBuf(acc)
-	accData := (*acc)[:s.unitSize]
 	g := s.lay.G()
-	for stripe := int64(0); stripe < s.numStripes; stripe++ {
+	return s.fanOut(int(s.numStripes), func(i int) error {
+		stripe := int64(i)
+		buf := s.getBuf()
+		acc := s.getBuf()
+		defer s.putBuf(buf)
+		defer s.putBuf(acc)
+		accData := (*acc)[:s.unitSize]
+		zeroBytes(accData)
 		s.locks.rlock(stripe)
+		defer s.locks.runlock(stripe)
 		st := s.st.Load()
-		skip := false
-		for i := range accData {
-			accData[i] = 0
-		}
-		var err error
-		for j := 0; j < g && err == nil; j++ {
+		for j := 0; j < g; j++ {
 			u := s.lay.Unit(stripe, j)
 			if st.lost(u) {
-				skip = true
-				break
+				return nil // skipped: degraded reads exercise its consistency
 			}
-			if err = s.readPhys(st.disk(u), u.Disk, u.Offset, *buf); err == nil {
-				xorInto(accData, (*buf)[:s.unitSize])
+			if err := s.readPhys(st.disk(u), u.Disk, u.Offset, *buf); err != nil {
+				return fmt.Errorf("store: stripe %d: %w", stripe, err)
 			}
-		}
-		s.locks.runlock(stripe)
-		if err != nil {
-			return fmt.Errorf("store: stripe %d: %w", stripe, err)
-		}
-		if skip {
-			continue
+			xorInto(accData, (*buf)[:s.unitSize])
 		}
 		for _, b := range accData {
 			if b != 0 {
 				return fmt.Errorf("store: stripe %d parity inconsistent", stripe)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Sync is the store's durability point: it flushes every in-service
@@ -879,20 +1076,25 @@ func (s *Store) Sync() error {
 		}
 	}
 	if len(errs) == 0 && !s.parityDoubt.Load() {
+		// Collect every clearable region and pay one durability barrier
+		// for the whole set, the flip side of MarkBatch's group commit.
+		s.intentMu.Lock()
+		var clear []int64
 		for r := range s.regionDirty {
-			if !s.regionDirty[r].Load() || s.regionActive[r].Load() != 0 {
-				continue
-			}
-			s.intentMu.Lock()
 			if s.regionDirty[r].Load() && s.regionActive[r].Load() == 0 {
-				if err := s.intent.Clear(int64(r)); err != nil {
-					errs = append(errs, fmt.Errorf("store: intent log: %w", err))
-				} else {
+				clear = append(clear, int64(r))
+			}
+		}
+		if len(clear) > 0 {
+			if err := s.intent.ClearBatch(clear); err != nil {
+				errs = append(errs, fmt.Errorf("store: intent log: %w", err))
+			} else {
+				for _, r := range clear {
 					s.regionDirty[r].Store(false)
 				}
 			}
-			s.intentMu.Unlock()
 		}
+		s.intentMu.Unlock()
 	}
 	return errors.Join(errs...)
 }
@@ -900,7 +1102,9 @@ func (s *Store) Sync() error {
 // Close releases every backend, including detached failed disks, and the
 // intent log. The store must be quiesced; a clean Close syncs backends
 // and clears the intent log first (so the next open skips recovery), and
-// operations after Close have undefined results.
+// operations after Close have undefined results. Every failure along the
+// way is reported, joined — a disk that will not close does not hide the
+// next one's error.
 func (s *Store) Close() error {
 	s.admin.Lock()
 	defer s.admin.Unlock()
@@ -908,27 +1112,34 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	first := s.Sync()
+	errs := []error{s.Sync()}
 	st := s.st.Load()
-	for _, d := range st.disks {
-		if err := d.Close(); err != nil && first == nil {
-			first = err
+	for i, d := range st.disks {
+		if err := d.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("store: close disk %d: %w", i, err))
 		}
 	}
 	if st.repl != nil {
-		if err := st.repl.Close(); err != nil && first == nil {
-			first = err
+		if err := st.repl.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("store: close replacement: %w", err))
 		}
 	}
 	for _, d := range s.detached {
-		if err := d.Close(); err != nil && first == nil {
-			first = err
+		if err := d.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("store: close detached disk: %w", err))
 		}
 	}
-	if err := s.intent.Close(); err != nil && first == nil {
-		first = err
+	if err := s.intent.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("store: close intent log: %w", err))
 	}
-	return first
+	return errors.Join(errs...)
+}
+
+// zeroBytes clears b (the compiler lowers this loop to memclr).
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 // xorInto XORs src into dst in place; lengths are equal unit sizes,
