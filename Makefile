@@ -11,7 +11,7 @@ BENCH_PKGS ?= . ./internal/sim ./internal/store
 STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race store-par-race store-chaos vet fmt-check fault-smoke lint cover verify clean
+.PHONY: all build test race bench-smoke bench bench-save bench-diff sweep-race telemetry-race store-race store-par-race store-chaos store-chaos-2f nightly vet fmt-check fault-smoke lint cover verify clean
 
 all: build
 
@@ -73,7 +73,27 @@ store-par-race:
 # written there so CI can upload it as a failure artifact; rerun a failure
 # with CHAOS_SEED=<seed>.
 store-chaos:
-	$(GO) test -race -run 'TestChaos|TestCrash' -count=1 -v ./internal/store/
+	$(GO) test -race -run 'TestChaosAcknowledged|TestCrash' -count=1 -v ./internal/store/
+
+# The two-failure chaos invariant: the same 12-worker fault mix against the
+# P+Q dual-parity store, losing TWO disks mid-run — a singly-degraded
+# window, a doubly-degraded window with the code saturated, then both
+# rebuilds under load. Seed handling matches store-chaos (printed, written
+# to STORE_CHAOS_DIR, rerun with CHAOS_SEED=<seed>).
+store-chaos-2f:
+	$(GO) test -race -run 'TestChaos2F' -count=1 -v ./internal/store/
+
+# The nightly long-haul: property suites too slow to run on every push.
+# Every two-disk failure pair must recover on the P+Q store, a rebuild
+# must succeed from any mid-sweep failure point, the SIGKILL
+# crash-recovery test runs twenty kills at fresh timing offsets, and both
+# chaos invariants run repeatedly under fresh seeds (each run prints its
+# seed; failures replay with CHAOS_SEED=<seed>).
+nightly:
+	$(GO) test -race -run 'TestPQEveryTwoDisksRecover' -count=5 -v ./internal/store/
+	$(GO) test -race -run 'TestRebuildAnyFailurePoint' -count=5 -v ./internal/store/
+	$(GO) test -race -run 'TestCrashDuringWriteRecovers' -count=20 -v ./internal/store/
+	$(GO) test -race -run 'TestChaosAcknowledged|TestChaos2F' -count=10 -v ./internal/store/
 
 vet:
 	$(GO) vet ./...
@@ -112,9 +132,9 @@ cover:
 
 # The full pre-merge gate: formatting, static checks, build, the race-able
 # test suite, the fault-injection, parallel-sweep, telemetry and storage-
-# engine race smokes, the storage chaos invariant, and a benchmark smoke
-# pass.
-verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race store-par-race store-chaos bench-smoke
+# engine race smokes, the storage chaos invariants (single- and
+# double-failure), and a benchmark smoke pass.
+verify: fmt-check vet build race fault-smoke sweep-race telemetry-race store-race store-par-race store-chaos store-chaos-2f bench-smoke
 	@echo "verify: OK"
 
 clean:

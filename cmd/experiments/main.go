@@ -12,7 +12,7 @@
 // Experiments: fig4-3, fig6-1, fig6-2, fig8 (8-1..8-4), table8-1, fig8-6,
 // ext-throttle, ext-priority, ext-mttdl, ext-datamap, ext-mirror,
 // ext-sparing, ext-unitsize, ext-skew, ext-sched, ext-readahead,
-// ext-phases, double-failure.
+// ext-phases, ext-pq, double-failure.
 package main
 
 import (
@@ -144,6 +144,11 @@ func main() {
 	}
 	if selected("ext-phases") {
 		_, t, err := experiments.ExtPhases(o, nil, *spansDir)
+		check(err)
+		emit(t)
+	}
+	if selected("ext-pq") {
+		_, t, err := experiments.ExtPQ(o, nil)
 		check(err)
 		emit(t)
 	}

@@ -263,6 +263,61 @@ func TestSecondFailureReport(t *testing.T) {
 	}
 }
 
+// TestSecondFailurePQReportsZeroLoss pins the enumeration under -parities 2:
+// the same worst-case double failure that costs single parity α of its
+// at-risk stripes decodes completely under P+Q.
+func TestSecondFailurePQReportsZeroLoss(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-second-failure", "-parities", "2", "-g", "5", "-scale", "50"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"P+Q", "stripes lost:    0", "units lost:      0", "nothing is lost"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("P+Q second-failure report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestDualParityRun drives a full simulated run under -parities 2 and
+// checks the array description advertises the code.
+func TestDualParityRun(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-mode", "faultfree", "-parities", "2", "-scale", "50", "-warmup", "1", "-measure", "5"}
+	if err := run(args, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P+Q") {
+		t.Errorf("array description does not name the P+Q code:\n%s", out.String())
+	}
+}
+
+// TestExplicitSingleParityMatchesImplicit pins the compatibility contract
+// for the new flag: -parities 1 spelled out produces byte-identical output
+// to leaving it off entirely.
+func TestExplicitSingleParityMatchesImplicit(t *testing.T) {
+	invoke := func(extra ...string) string {
+		args := append([]string{"-mode", "faultfree", "-scale", "50", "-warmup", "1", "-measure", "5"}, extra...)
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run %v: %v\nstderr: %s", extra, err, errb.String())
+		}
+		return stripWallClock(out.String())
+	}
+	if implicit, explicit := invoke(), invoke("-parities", "1"); implicit != explicit {
+		t.Errorf("-parities 1 diverges from the default:\n--- implicit ---\n%s\n--- explicit ---\n%s",
+			implicit, explicit)
+	}
+}
+
+// TestRejectsBadParities checks -parities validation.
+func TestRejectsBadParities(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-parities", "3"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-parities") {
+		t.Fatalf("got %v, want -parities rejection", err)
+	}
+}
+
 // TestDormantFaultFlagsPrintNoFaultSummary keeps the default output free
 // of fault lines so existing tooling parsing raidsim output is unaffected.
 func TestDormantFaultFlagsPrintNoFaultSummary(t *testing.T) {

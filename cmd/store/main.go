@@ -6,6 +6,13 @@
 //	go run ./cmd/store -c 21 -g 5 -clients 16 -secs 2
 //	go run ./cmd/store -backend file -dir /tmp/declust -units 512
 //	go run ./cmd/store -faults -scrub -chaos-seed 7
+//	go run ./cmd/store -parities 2 -fail 2 -fail2 5
+//
+// With -parities 2 the engine runs the P+Q dual-parity code and the
+// lifecycle loses a SECOND disk (-fail2) after the degraded phase: a
+// doubly-degraded load window with the code saturated, then both
+// rebuilds in failure order, each racing its own load phase and timed
+// separately in the lifecycle summary.
 //
 // With -faults the backends inject transient errors, torn writes, read
 // corruption, and latent sector errors (on the doomed disk), and the run
@@ -45,7 +52,9 @@ type config struct {
 	phaseSecs     float64
 	readFrac      float64
 	throttle      time.Duration
+	parities      int
 	failDisk      int
+	fail2         int
 	faults        bool
 	transient     float64
 	torn          float64
@@ -72,7 +81,9 @@ func main() {
 	flag.Float64Var(&cfg.phaseSecs, "secs", 1, "seconds of load per phase")
 	flag.Float64Var(&cfg.readFrac, "read", 0.5, "read fraction of the client mix")
 	flag.DurationVar(&cfg.throttle, "throttle", 0, "rebuild throttle per unit (e.g. 200us)")
+	flag.IntVar(&cfg.parities, "parities", 1, "parity units per stripe: 1 (code P) or 2 (code P+Q)")
 	flag.IntVar(&cfg.failDisk, "fail", 2, "disk to fail")
+	flag.IntVar(&cfg.fail2, "fail2", 0, "second disk to fail (-parities 2 only; must differ from -fail)")
 	flag.BoolVar(&cfg.faults, "faults", false, "inject faults with default rates (override via -transient etc.)")
 	flag.Float64Var(&cfg.transient, "transient", 0, "per-op transient error rate on every disk")
 	flag.Float64Var(&cfg.torn, "torn", 0, "per-write torn-write rate on every disk")
@@ -117,6 +128,24 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.failDisk < 0 || cfg.failDisk >= cfg.c {
 		return fmt.Errorf("-fail %d out of range [0,%d)", cfg.failDisk, cfg.c)
+	}
+	if cfg.parities == 0 {
+		cfg.parities = 1
+	}
+	if cfg.parities != 1 && cfg.parities != 2 {
+		return fmt.Errorf("-parities %d: must be 1 (P) or 2 (P+Q)", cfg.parities)
+	}
+	codeName := "P"
+	victims := []int{cfg.failDisk}
+	if cfg.parities == 2 {
+		codeName = "P+Q"
+		if cfg.fail2 < 0 || cfg.fail2 >= cfg.c {
+			return fmt.Errorf("-fail2 %d out of range [0,%d)", cfg.fail2, cfg.c)
+		}
+		if cfg.fail2 == cfg.failDisk {
+			return fmt.Errorf("-fail2 %d: the second victim must differ from -fail", cfg.fail2)
+		}
+		victims = append(victims, cfg.fail2)
 	}
 	faultsOn := cfg.faults || cfg.transient > 0 || cfg.torn > 0 || cfg.lse > 0 || cfg.corrupt > 0
 	if cfg.faults && cfg.transient == 0 && cfg.torn == 0 && cfg.lse == 0 && cfg.corrupt == 0 {
@@ -179,7 +208,11 @@ func run(cfg config, out io.Writer) error {
 		scfg.Disks = wrapped
 	}
 
-	s, err := declust.OpenStore(cfg.c, cfg.g, scfg)
+	open := declust.OpenStore
+	if cfg.parities == 2 {
+		open = declust.OpenPQStore
+	}
+	s, err := open(cfg.c, cfg.g, scfg)
 	if err != nil {
 		return err
 	}
@@ -197,8 +230,8 @@ func run(cfg config, out io.Writer) error {
 		rebuildWorkers = ioWorkers
 	}
 	total := s.DataUnits()
-	fmt.Fprintf(out, "store: C=%d G=%d, %d data units x %d B (%.1f MB usable), %d clients, %d io-workers, %d rebuild-workers\n",
-		cfg.c, cfg.g, total, cfg.unitSize, float64(total*int64(cfg.unitSize))/1e6, cfg.clients, ioWorkers, rebuildWorkers)
+	fmt.Fprintf(out, "store: C=%d G=%d code %s, %d data units x %d B (%.1f MB usable), %d clients, %d io-workers, %d rebuild-workers\n",
+		cfg.c, cfg.g, codeName, total, cfg.unitSize, float64(total*int64(cfg.unitSize))/1e6, cfg.clients, ioWorkers, rebuildWorkers)
 
 	// version[n] is unit n's last written version; clients own disjoint
 	// unit ranges so each slot has a single writer.
@@ -315,40 +348,73 @@ func run(cfg config, out io.Writer) error {
 	if err := loadPhase("degraded"); err != nil {
 		return err
 	}
-
-	var repl declust.StoreDisk = declust.NewMemDisk(cfg.units, cfg.unitSize)
-	if replPath != "" {
-		if repl, err = declust.OpenFileDisk(replPath, cfg.units, cfg.unitSize); err != nil {
+	if cfg.parities == 2 {
+		// The second whole-disk failure saturates the P+Q code: every
+		// doubly-dead stripe must now decode through the Reed–Solomon
+		// equations. The second victim never carried latent sector errors
+		// (injection puts them only on -fail), so no stripe can reach
+		// three erasures.
+		fmt.Fprintf(out, "failing disk %d (second failure, code %s)\n", cfg.fail2, codeName)
+		if err := s.Fail(cfg.fail2); err != nil {
+			return err
+		}
+		if err := loadPhase("degraded-2"); err != nil {
 			return err
 		}
 	}
-	if faultsOn {
-		// The replacement is no more reliable than the rest of the array.
-		rfd := declust.NewFaultDisk(repl, declust.StoreFaultConfig{
-			Seed:          seed + int64(cfg.c),
-			TransientRate: cfg.transient,
-			TornWriteRate: cfg.torn,
+
+	// Rebuild the victims in failure order (Rebuild always targets the
+	// oldest outstanding failure); each rebuild races its own load phase
+	// and lands as its own row so the summary reports per-failure
+	// rebuild wall-clock.
+	for i, victim := range victims {
+		var repl declust.StoreDisk = declust.NewMemDisk(cfg.units, cfg.unitSize)
+		if replPath != "" {
+			path := replPath
+			if i > 0 {
+				path = filepath.Join(filepath.Dir(replPath), fmt.Sprintf("replacement%d.dat", i+1))
+			}
+			if repl, err = declust.OpenFileDisk(path, cfg.units, cfg.unitSize); err != nil {
+				return err
+			}
+		}
+		if faultsOn {
+			// The replacement is no more reliable than the rest of the array.
+			rfd := declust.NewFaultDisk(repl, declust.StoreFaultConfig{
+				Seed:          seed + int64(cfg.c+i),
+				TransientRate: cfg.transient,
+				TornWriteRate: cfg.torn,
+			})
+			fds[victim] = rfd
+			repl = rfd
+		}
+		phaseName, rowName := "rebuilding", "rebuild"
+		if len(victims) > 1 {
+			phaseName = fmt.Sprintf("rebuilding-%d", i+1)
+			rowName = fmt.Sprintf("rebuild d%d", victim)
+		}
+		rebuildDone := make(chan error, 1)
+		rebuildStart := time.Now()
+		go func() { rebuildDone <- s.Rebuild(repl) }()
+		if err := loadPhase(phaseName); err != nil {
+			return err
+		}
+		if err := <-rebuildDone; err != nil {
+			return err
+		}
+		done, rTotal := s.RebuildProgress()
+		rebuildSecs := time.Since(rebuildStart).Seconds()
+		phases = append(phases, phaseStat{
+			name: rowName, ops: done, secs: rebuildSecs,
+			mbps:    float64(done) * float64(cfg.unitSize) / 1e6 / rebuildSecs,
+			rebuild: true,
 		})
-		fds[cfg.failDisk] = rfd
-		repl = rfd
+		if len(victims) > 1 {
+			fmt.Fprintf(out, "rebuild of disk %d complete: %d/%d units in %.2fs\n", victim, done, rTotal, rebuildSecs)
+		} else {
+			fmt.Fprintf(out, "rebuild complete: %d/%d units in %.2fs\n", done, rTotal, rebuildSecs)
+		}
 	}
-	rebuildDone := make(chan error, 1)
-	rebuildStart := time.Now()
-	go func() { rebuildDone <- s.Rebuild(repl) }()
-	if err := loadPhase("rebuilding"); err != nil {
-		return err
-	}
-	if err := <-rebuildDone; err != nil {
-		return err
-	}
-	done, rTotal := s.RebuildProgress()
-	rebuildSecs := time.Since(rebuildStart).Seconds()
-	phases = append(phases, phaseStat{
-		name: "rebuild", ops: done, secs: rebuildSecs,
-		mbps:    float64(done) * float64(cfg.unitSize) / 1e6 / rebuildSecs,
-		rebuild: true,
-	})
-	fmt.Fprintf(out, "rebuild complete: %d/%d units in %.2fs\n", done, rTotal, rebuildSecs)
 
 	if err := loadPhase("healed"); err != nil {
 		return err
@@ -388,7 +454,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	// Lifecycle summary: one row per phase so the effect of -io-workers
 	// and -rebuild-workers is visible at a glance across the run.
-	fmt.Fprintf(out, "lifecycle summary (%d io-workers, %d rebuild-workers):\n", ioWorkers, rebuildWorkers)
+	fmt.Fprintf(out, "lifecycle summary (code %s, %d io-workers, %d rebuild-workers):\n", codeName, ioWorkers, rebuildWorkers)
 	for _, p := range phases {
 		if p.rebuild {
 			fmt.Fprintf(out, "  %-12s %8.1f MB/s  (%d units reconstructed in %.2fs wall-clock)\n",

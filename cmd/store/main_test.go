@@ -88,6 +88,79 @@ func TestRunFileFaultScenario(t *testing.T) {
 	}
 }
 
+// TestRunPQTwoFailureScenario drives the dual-parity lifecycle: fill,
+// fault-free load, two live disk failures with singly- and
+// doubly-degraded load windows between them, both rebuilds racing load,
+// and the byte-for-byte verification — with the fault injectors on.
+func TestRunPQTwoFailureScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 7, g: 4, units: 64, unitSize: 512,
+		backend: "mem", clients: 4, phaseSecs: 0.05,
+		readFrac: 0.5, throttle: 50 * time.Microsecond,
+		parities: 2, failDisk: 2, fail2: 5,
+		faults: true, chaosSeed: 4242, retries: 6,
+		ioWorkers: 8, rebuildWork: 4,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"code P+Q", "degraded-2", "rebuilding-1", "rebuilding-2",
+		"rebuild d2", "rebuild d5",
+		"rebuild of disk 2 complete", "rebuild of disk 5 complete",
+		"lifecycle summary (code P+Q", "verify: OK",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunPQFileScenario exercises P+Q on the file backend (intent log,
+// two replacement files) without fault injection.
+func TestRunPQFileScenario(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		c: 7, g: 4, units: 40, unitSize: 512,
+		backend: "file", dir: t.TempDir(), clients: 2, phaseSecs: 0.03,
+		readFrac: 0.5, parities: 2, failDisk: 1, fail2: 4,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify: OK") {
+		t.Fatalf("output missing verification verdict:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadParities checks dual-parity argument validation.
+func TestRunRejectsBadParities(t *testing.T) {
+	base := config{
+		c: 7, g: 4, units: 64, unitSize: 512,
+		backend: "mem", clients: 1, phaseSecs: 0.01, failDisk: 2,
+	}
+	bad := base
+	bad.parities = 3
+	var out strings.Builder
+	if err := run(bad, &out); err == nil {
+		t.Fatal("expected error for -parities 3")
+	}
+	dup := base
+	dup.parities = 2
+	dup.fail2 = 2 // same as failDisk
+	if err := run(dup, &out); err == nil {
+		t.Fatal("expected error for -fail2 == -fail")
+	}
+	oor := base
+	oor.parities = 2
+	oor.fail2 = 7
+	if err := run(oor, &out); err == nil {
+		t.Fatal("expected error for out-of-range -fail2")
+	}
+}
+
 // TestRunRejectsBadFailDisk checks argument validation.
 func TestRunRejectsBadFailDisk(t *testing.T) {
 	var out strings.Builder

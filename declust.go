@@ -162,6 +162,15 @@ func NewSparedMapping(c, g, maxTuples int) (*Mapping, error) {
 	return core.NewSparedMapping(c, g, maxTuples)
 }
 
+// NewPQMapping selects a layout as NewMapping does, then adds a second,
+// Reed–Solomon (Q) parity unit to every stripe: the RAID-6-style P+Q code
+// that survives any two concurrent disk failures. Use with
+// SimConfig.Parities = 2, or pass the Mapping's Layout to a Store for a
+// double-fault-tolerant engine.
+func NewPQMapping(c, g, maxTuples int) (*Mapping, error) {
+	return core.NewPQMapping(c, g, maxTuples)
+}
+
 // MetricsRegistry collects named counters, gauges, log-bucketed latency
 // histograms and per-disk time series from a simulation run; assign one
 // to SimConfig.Metrics and export with WritePrometheus / WriteCSV. Same
@@ -317,6 +326,22 @@ const (
 func OpenStore(c, g int, cfg StoreConfig) (*Store, error) {
 	if cfg.Layout == nil {
 		m, err := core.NewMapping(c, g, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Layout = m.Layout
+	}
+	return store.New(cfg)
+}
+
+// OpenPQStore builds a storage engine like OpenStore but over the P+Q
+// dual-parity code (see NewPQMapping): every stripe carries an XOR parity
+// and a GF(2^8) Reed–Solomon parity, the engine's RMW path maintains
+// both, and any two concurrent disk failures — Fail called twice — stay
+// fully readable and rebuildable.
+func OpenPQStore(c, g int, cfg StoreConfig) (*Store, error) {
+	if cfg.Layout == nil {
+		m, err := core.NewPQMapping(c, g, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"declust/internal/disk"
 	"declust/internal/fault"
+	"declust/internal/gf256"
 	"declust/internal/layout"
 	"declust/internal/metrics"
 	"declust/internal/sim"
@@ -127,6 +128,11 @@ type Array struct {
 	cfg    Config
 	lay    layout.Layout
 	mapper layout.DataMapper
+	// parities is the layout's parity units per stripe: 1 (P, the paper's
+	// model) or 2 (P+Q, the RAID-6-style double-failure code). With 2,
+	// writes maintain both parity words (the six-access read-modify-write)
+	// and degraded reads decode through whichever equations survive.
+	parities int
 
 	disks        []*disk.Disk
 	unitsPerDisk int64 // usable units per disk (whole allocation periods)
@@ -230,11 +236,18 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 	if mapper == nil {
 		mapper = layout.StripeIndexMapper{L: cfg.Layout}
 	}
+	parities := layout.NumParities(cfg.Layout)
+	if parities < 1 || parities > 2 {
+		return nil, fmt.Errorf("array: layout has %d parity units per stripe; 1 (P) or 2 (P+Q) supported", parities)
+	}
 	var spareLay layout.SpareLayout
 	if cfg.DistributedSparing {
 		sl, ok := cfg.Layout.(layout.SpareLayout)
 		if !ok {
 			return nil, fmt.Errorf("array: distributed sparing needs a spare-bearing layout (layout.NewSpared)")
+		}
+		if parities != 1 {
+			return nil, fmt.Errorf("array: distributed sparing supports single parity only")
 		}
 		spareLay = sl
 	}
@@ -243,6 +256,7 @@ func New(eng *sim.Engine, cfg Config) (*Array, error) {
 		cfg:          cfg,
 		lay:          cfg.Layout,
 		mapper:       mapper,
+		parities:     parities,
 		unitsPerDisk: usable,
 		numStripes:   layout.UsableStripes(cfg.Layout, rawUnits),
 		dataUnits:    layout.DataUnits(cfg.Layout, rawUnits),
@@ -310,22 +324,24 @@ func (a *Array) initContents() {
 		g := a.lay.G()
 		n := int64(0)
 		for s := int64(0); s < a.numStripes; s++ {
-			pp := a.lay.ParityPos(s)
-			var ploc layout.Loc
-			var x uint64
+			var x, q uint64
+			d := 0
 			for j := 0; j < g; j++ {
-				u := a.lay.Unit(s, j)
-				if j == pp {
-					ploc = u
+				if layout.IsParityPos(a.lay, s, j) {
 					continue
 				}
+				u := a.lay.Unit(s, j)
 				v := splitmix64(uint64(n) + 1)
 				a.expected[n] = v
 				a.contents[u.Disk][u.Offset] = v
 				x ^= v
+				if a.parities == 2 {
+					q ^= gf256.MulWord(gf256.Exp(d), v)
+				}
+				d++
 				n++
 			}
-			a.contents[ploc.Disk][ploc.Offset] = x
+			a.setParityVals(s, x, q)
 		}
 		return
 	}
@@ -336,16 +352,32 @@ func (a *Array) initContents() {
 		a.expected[n] = v
 	}
 	for s := int64(0); s < a.numStripes; s++ {
-		p := layout.ParityLoc(a.lay, s)
-		var x uint64
+		var x, q uint64
+		d := 0
 		for j := 0; j < a.lay.G(); j++ {
-			if j == a.lay.ParityPos(s) {
+			if layout.IsParityPos(a.lay, s, j) {
 				continue
 			}
 			u := a.lay.Unit(s, j)
-			x ^= a.contents[u.Disk][u.Offset]
+			v := a.contents[u.Disk][u.Offset]
+			x ^= v
+			if a.parities == 2 {
+				q ^= gf256.MulWord(gf256.Exp(d), v)
+			}
+			d++
 		}
-		a.contents[p.Disk][p.Offset] = x
+		a.setParityVals(s, x, q)
+	}
+}
+
+// setParityVals stores a stripe's parity words: P always, Q under dual
+// parity.
+func (a *Array) setParityVals(s int64, p, q uint64) {
+	pl := layout.ParityLocOf(a.lay, s, 0)
+	a.contents[pl.Disk][pl.Offset] = p
+	if a.parities == 2 {
+		ql := layout.ParityLocOf(a.lay, s, 1)
+		a.contents[ql.Disk][ql.Offset] = q
 	}
 }
 
@@ -360,6 +392,9 @@ func (a *Array) Stripes() int64 { return a.numStripes }
 
 // Layout returns the array's layout.
 func (a *Array) Layout() layout.Layout { return a.lay }
+
+// Parities returns the parity units per stripe: 1 (P) or 2 (P+Q).
+func (a *Array) Parities() int { return a.parities }
 
 // Disk returns the drive currently in slot i (the replacement, if slot i
 // was failed and replaced).

@@ -3,6 +3,7 @@ package array
 import (
 	"fmt"
 
+	"declust/internal/gf256"
 	"declust/internal/layout"
 )
 
@@ -19,6 +20,9 @@ import (
 func (a *Array) CheckConsistency() error {
 	if a.locks.heldCount() != 0 {
 		return fmt.Errorf("array: %d stripe locks held; not quiesced", a.locks.heldCount())
+	}
+	if a.parities == 2 {
+		return a.checkConsistencyPQ()
 	}
 	g := a.lay.G()
 	for s := int64(0); s < a.numStripes; s++ {
@@ -60,6 +64,56 @@ func (a *Array) CheckConsistency() error {
 				return fmt.Errorf("stripe %d: lost data unit %d reconstructs to %#x, want %#x",
 					s, idx, xor, a.expected[idx])
 			}
+		}
+	}
+	return nil
+}
+
+// checkConsistencyPQ verifies the dual-parity invariants at quiesce. With
+// losses restored out of band (recordLoss keeps the model consistent), the
+// invariant is stronger than the single-parity one: every readable unit —
+// data, P, and Q — must hold exactly the value derivable from the last
+// logical writes, so both parity equations balance and any two lost units
+// per stripe remain decodable.
+func (a *Array) checkConsistencyPQ() error {
+	g := a.lay.G()
+	pq := [2]string{"P", "Q"}
+	for s := int64(0); s < a.numStripes; s++ {
+		var p, q uint64
+		lost := 0
+		d := 0
+		for j := 0; j < g; j++ {
+			if layout.IsParityPos(a.lay, s, j) {
+				continue
+			}
+			u := a.lay.Unit(s, j)
+			idx := a.mapper.Index(s, j)
+			want := a.expected[idx]
+			p ^= want
+			q ^= gf256.MulWord(gf256.Exp(d), want)
+			d++
+			if !a.available(u) {
+				lost++
+				continue
+			}
+			if got := a.unitVal(u); got != want {
+				return fmt.Errorf("stripe %d: data unit %d at %v holds %#x, want %#x",
+					s, idx, u, got, want)
+			}
+		}
+		for k, want := range [2]uint64{p, q} {
+			u := layout.ParityLocOf(a.lay, s, k)
+			if !a.available(u) {
+				lost++
+				continue
+			}
+			if got := a.unitVal(u); got != want {
+				return fmt.Errorf("stripe %d: %s parity at %v holds %#x, want %#x",
+					s, pq[k], u, got, want)
+			}
+		}
+		if lost > a.parities {
+			return fmt.Errorf("stripe %d: %d lost units; layout broken", s, lost)
 		}
 	}
 	return nil

@@ -73,9 +73,9 @@ func (a *Array) repairThen(stripe int64, fails []xfer, prio int, cont func()) {
 }
 
 // repairLocked handles media-errored reads of one stripe, its lock held.
-// Each unreadable unit is classified: recoverable when every other unit of
-// the stripe is readable (parity rebuilds it), lost otherwise (the stripe
-// already had a dead unit, or two media errors struck it at once).
+// Each unreadable unit is classified: recoverable when the stripe's total
+// dead units (media-errored or unavailable) fit within the code's
+// correction power — one for single parity, two for P+Q — lost otherwise.
 // Recoverable units charge survivor reads plus a rewrite; lost units are
 // recorded as a DataLossEvent and restored out of band — a rewrite, as if
 // from backup — so the simulation, like the array operator, carries on.
@@ -88,20 +88,16 @@ func (a *Array) repairLocked(stripe int64, fails []xfer, prio int, cont func()) 
 		bad[x.loc] = true
 	}
 	g := a.lay.G()
+	dead := 0
+	for j := 0; j < g; j++ {
+		u := a.lay.Unit(stripe, j)
+		if bad[u] || !a.available(u) {
+			dead++
+		}
+	}
 	var recov, lost []layout.Loc
 	for _, x := range fails {
-		recoverable := true
-		for j := 0; j < g; j++ {
-			u := a.lay.Unit(stripe, j)
-			if u == x.loc {
-				continue
-			}
-			if bad[u] || !a.available(u) {
-				recoverable = false
-				break
-			}
-		}
-		if recoverable {
+		if dead <= a.parities {
 			recov = append(recov, x.loc)
 		} else {
 			lost = append(lost, x.loc)
@@ -146,9 +142,12 @@ func (a *Array) repairLocked(stripe int64, fails []xfer, prio int, cont func()) 
 
 // DoubleFailure summarizes a true second whole-disk failure while the
 // array is degraded: the event declustering's partial-loss advantage is
-// about. Declustering loses only the stripes with units on both failed
-// disks — the balance property makes that fraction of the at-risk stripes
-// exactly α = (G−1)/(C−1) — while RAID5 (G = C) loses every one.
+// about. Under single parity, declustering loses only the stripes with
+// units on both failed disks — the balance property makes that fraction of
+// the at-risk stripes exactly α = (G−1)/(C−1) — while RAID5 (G = C) loses
+// every one. Under P+Q the two-erasure decode covers every such stripe:
+// StripesLost collapses to zero and the double-dead stripes are counted
+// in StripesSurvived instead.
 type DoubleFailure struct {
 	FirstDisk  int
 	SecondDisk int
@@ -156,11 +155,15 @@ type DoubleFailure struct {
 	// StripesAtRisk counts stripes that still had an unrecovered unit of
 	// the first failure when the second disk died.
 	StripesAtRisk int64
-	// StripesLost and UnitsLost count stripes with two or more dead
-	// units, and those dead units — data no single-failure redundancy
-	// can rebuild.
+	// StripesLost and UnitsLost count stripes with more dead units than
+	// the code corrects (two for single parity, three for P+Q), and those
+	// dead units — data the redundancy cannot rebuild.
 	StripesLost int64
 	UnitsLost   int64
+	// StripesSurvived counts stripes with two dead units that the P+Q
+	// code still decodes — the stripes a single-parity layout would have
+	// lost. Always zero under single parity.
+	StripesSurvived int64
 }
 
 // DoubleFailures returns a copy of the recorded second-failure events.
@@ -207,9 +210,12 @@ func (a *Array) SecondFail(d int) (DoubleFailure, error) {
 		if atRisk {
 			df.StripesAtRisk++
 		}
-		if dead >= 2 {
+		switch {
+		case dead > a.parities:
 			df.StripesLost++
 			df.UnitsLost += int64(dead)
+		case dead >= 2:
+			df.StripesSurvived++
 		}
 	}
 	a.doubleFailures = append(a.doubleFailures, df)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"declust/internal/disk"
+	"declust/internal/gf256"
 	"declust/internal/layout"
 	"declust/internal/telemetry"
 )
@@ -229,14 +230,69 @@ func (a *Array) xorUnits(locs []layout.Loc) uint64 {
 	return v
 }
 
+// qSum computes the Reed–Solomon sum Σ g^d·value_d of a set of data units,
+// d being each unit's data ordinal within its stripe.
+func (a *Array) qSum(stripe int64, locs []layout.Loc) uint64 {
+	var q uint64
+	for _, u := range locs {
+		_, j := a.lay.Locate(u)
+		d := layout.DataOrdinal(a.lay, stripe, j)
+		q ^= gf256.MulWord(gf256.Exp(d), a.unitVal(u))
+	}
+	return q
+}
+
+// qTerm is one data unit's contribution to its stripe's Q word.
+func (a *Array) qTerm(stripe int64, loc layout.Loc, v uint64) uint64 {
+	_, j := a.lay.Locate(loc)
+	return gf256.MulWord(gf256.Exp(layout.DataOrdinal(a.lay, stripe, j)), v)
+}
+
+// reconSources returns the units to read to reconstruct loc's contents.
+// Single parity reads every other unit of the stripe; dual parity decodes
+// a single erasure through one equation, so it skips the unneeded parity —
+// Q for a lost data or P unit, P for a lost Q unit — reading G−2 units.
+func (a *Array) reconSources(loc layout.Loc) []layout.Loc {
+	if a.parities == 1 {
+		return layout.SurvivingUnits(a.lay, loc)
+	}
+	stripe, jLost := a.lay.Locate(loc)
+	skip := layout.ParityPosOf(a.lay, stripe, 1)
+	if jLost == skip {
+		skip = layout.ParityPosOf(a.lay, stripe, 0)
+	}
+	g := a.lay.G()
+	out := make([]layout.Loc, 0, g-2)
+	for j := 0; j < g; j++ {
+		if j == jLost || j == skip {
+			continue
+		}
+		out = append(out, a.lay.Unit(stripe, j))
+	}
+	return out
+}
+
+// reconValue computes loc's contents from its reconSources: the XOR of
+// the sources (which for a data or P unit includes whatever balances the
+// P equation), or — for a lost Q unit — the Reed–Solomon sum of the
+// stripe's data units.
+func (a *Array) reconValue(loc layout.Loc, srcs []layout.Loc) uint64 {
+	if a.parities == 2 {
+		stripe, j := a.lay.Locate(loc)
+		if j == layout.ParityPosOf(a.lay, stripe, 1) {
+			return a.qSum(stripe, srcs)
+		}
+	}
+	return a.xorUnits(srcs)
+}
+
 // dataUnitsOf returns the stripe's data unit locations excluding `except`
 // (pass an invalid Loc to keep all).
 func (a *Array) dataUnitsOf(stripe int64, except layout.Loc) []layout.Loc {
 	g := a.lay.G()
-	pp := a.lay.ParityPos(stripe)
 	out := make([]layout.Loc, 0, g-1)
 	for j := 0; j < g; j++ {
-		if j == pp {
+		if layout.IsParityPos(a.lay, stripe, j) {
 			continue
 		}
 		u := a.lay.Unit(stripe, j)
@@ -258,17 +314,21 @@ type userOp struct {
 	loc       layout.Loc
 	stripe    int64
 	ploc      layout.Loc
+	qloc      layout.Loc // Q parity unit (dual parity only)
 	other     layout.Loc // small-write companion data unit
 	value     uint64
 	otherData uint64 // small-write companion's data
 	oldData   uint64 // read-modify-write pre-read
 	oldParity uint64
 	newParity uint64
+	oldQ      uint64 // dual-parity read-modify-write pre-read
+	newQ      uint64
+	dOrd      int // the written unit's data ordinal (Q coefficient index)
 	readDone  func(value uint64)
 	writeDone func()
 	span      *telemetry.Span // root span handed over by the caller; nil when off
 	phase     *telemetry.Span // open lifecycle-phase child, ended by the stage that retires it
-	xs        [2]xfer         // phase transfer buffer; consumed synchronously by io
+	xs        [3]xfer         // phase transfer buffer; consumed synchronously by io
 
 	// Stage continuations, bound once per node.
 	readPlainFn   func([]xfer)
@@ -280,6 +340,9 @@ type userOp struct {
 	rmwPreFn      func([]xfer)
 	rmwRepairedFn func()
 	rmwCommitFn   func([]xfer)
+	pqPreFn       func([]xfer)
+	pqRepairedFn  func()
+	pqCommitFn    func([]xfer)
 	lostParityFn  func([]xfer)
 	finishFn      func()
 }
@@ -300,6 +363,9 @@ func (a *Array) getOp() *userOp {
 	op.rmwPreFn = op.rmwPre
 	op.rmwRepairedFn = op.rmwRepaired
 	op.rmwCommitFn = op.rmwCommit
+	op.pqPreFn = op.pqPre
+	op.pqRepairedFn = op.pqRepaired
+	op.pqCommitFn = op.pqCommit
 	op.lostParityFn = op.lostParity
 	op.finishFn = op.finish
 	return op
@@ -352,7 +418,7 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 			})
 			return
 		}
-		surv := layout.SurvivingUnits(a.lay, loc)
+		surv := a.reconSources(loc)
 		a.mOTFRecons.Inc()
 		otf := sp.Child(telemetry.PhaseOTF, a.eng.Now())
 		a.phaseSpan = otf
@@ -362,7 +428,7 @@ func (a *Array) Read(unit int64, done func(value uint64)) {
 			// loss and restores out of band; the value read below is
 			// the model's, standing in for the backup's.
 			a.repairThen(stripe, fails, userPriority, func() {
-				value := a.xorUnits(surv)
+				value := a.reconValue(loc, surv)
 				otf.End(a.eng.Now())
 				if a.cfg.Algorithm == RedirectPiggyback && (a.replacement || a.spareLay != nil) && !a.reconDone[loc.Offset] {
 					// The user's data is ready now; the piggybacked
@@ -461,6 +527,10 @@ func (op *userOp) writeLocked() {
 	op.phase.End(a.eng.Now()) // lock wait is over
 	op.phase = nil
 	op.ploc = layout.ParityLoc(a.lay, op.stripe)
+	if a.parities == 2 {
+		op.writeLockedPQ()
+		return
+	}
 	switch {
 	case a.available(op.loc) && a.available(op.ploc):
 		op.writeNormal()
@@ -483,6 +553,101 @@ func (op *userOp) lostParity(_ []xfer) {
 	op.a.setUnitVal(op.loc, op.value)
 	op.a.expected[op.unit] = op.value
 	op.finish()
+}
+
+// writeLockedPQ chooses the dual-parity write path. Under the one-failed-
+// disk model at most one unit of the stripe is unavailable (layout
+// criterion 1), so the cases are: everything available (the six-access
+// read-modify-write), the data unit lost (fold into both parities), or
+// one parity lost (write data, delta-update the surviving parity).
+func (op *userOp) writeLockedPQ() {
+	a := op.a
+	op.qloc = layout.ParityLocOf(a.lay, op.stripe, 1)
+	_, j := a.lay.Locate(op.loc)
+	op.dOrd = layout.DataOrdinal(a.lay, op.stripe, j)
+	switch {
+	case !a.available(op.loc):
+		op.phase = op.span.Child(telemetry.PhaseFold, a.eng.Now())
+		a.writeLostData(op.unit, op.loc, op.stripe, op.ploc, op.value, op.phase, op.finishFn)
+	case a.available(op.ploc) && a.available(op.qloc):
+		// Six-access read-modify-write: pre-read old data, P and Q, then
+		// overwrite all three — the dual-parity small-write cost the
+		// sweeps measure against α.
+		op.phase = op.span.Child(telemetry.PhasePreread, a.eng.Now())
+		op.oldData = a.unitVal(op.loc)
+		op.oldParity = a.unitVal(op.ploc)
+		op.oldQ = a.unitVal(op.qloc)
+		op.xs[0] = xfer{loc: op.loc}
+		op.xs[1] = xfer{loc: op.ploc}
+		op.xs[2] = xfer{loc: op.qloc}
+		a.phaseSpan = op.phase
+		a.io(op.xs[:3], userPriority, op.pqPreFn)
+	default:
+		// One parity lost: delta-update the survivor alongside the data
+		// write; the lost parity is recomputed when the sweep reaches it.
+		op.writeLostOneParityPQ()
+	}
+}
+
+func (op *userOp) pqPre(fails []xfer) {
+	op.a.repairThen(op.stripe, fails, userPriority, op.pqRepairedFn)
+}
+
+func (op *userOp) pqRepaired() {
+	a := op.a
+	op.phase.End(a.eng.Now())
+	op.phase = op.span.Child(telemetry.PhaseCommit, a.eng.Now())
+	delta := op.oldData ^ op.value
+	op.newParity = op.oldParity ^ delta
+	op.newQ = op.oldQ ^ gf256.MulWord(gf256.Exp(op.dOrd), delta)
+	op.xs[0] = xfer{loc: op.loc, write: true}
+	op.xs[1] = xfer{loc: op.ploc, write: true}
+	op.xs[2] = xfer{loc: op.qloc, write: true}
+	a.phaseSpan = op.phase
+	a.io(op.xs[:3], userPriority, op.pqCommitFn)
+}
+
+func (op *userOp) pqCommit(_ []xfer) {
+	a := op.a
+	a.setUnitVal(op.loc, op.value)
+	a.setUnitVal(op.ploc, op.newParity)
+	a.setUnitVal(op.qloc, op.newQ)
+	a.expected[op.unit] = op.value
+	op.finish()
+}
+
+// writeLostOneParityPQ writes a data unit whose stripe has exactly one
+// parity unit lost: a four-access read-modify-write against the surviving
+// parity (rare path; ad-hoc closures are fine here).
+func (op *userOp) writeLostOneParityPQ() {
+	a := op.a
+	surv := op.qloc
+	pSurvives := a.available(op.ploc)
+	if pSurvives {
+		surv = op.ploc
+	}
+	op.phase = op.span.Child(telemetry.PhasePreread, a.eng.Now())
+	oldData := a.unitVal(op.loc)
+	oldSurv := a.unitVal(surv)
+	a.phaseSpan = op.phase
+	a.io([]xfer{{loc: op.loc}, {loc: surv}}, userPriority, func(fails []xfer) {
+		a.repairThen(op.stripe, fails, userPriority, func() {
+			op.phase.End(a.eng.Now())
+			op.phase = op.span.Child(telemetry.PhaseCommit, a.eng.Now())
+			delta := oldData ^ op.value
+			newSurv := oldSurv ^ delta
+			if !pSurvives {
+				newSurv = oldSurv ^ gf256.MulWord(gf256.Exp(op.dOrd), delta)
+			}
+			a.phaseSpan = op.phase
+			a.io([]xfer{{loc: op.loc, write: true}, {loc: surv, write: true}}, userPriority, func(_ []xfer) {
+				a.setUnitVal(op.loc, op.value)
+				a.setUnitVal(surv, newSurv)
+				a.expected[op.unit] = op.value
+				op.finish()
+			})
+		})
+	})
 }
 
 // writeNormal is the fault-free path, also used when the touched units are
@@ -592,29 +757,42 @@ func (op *userOp) rmwCommit(_ []xfer) {
 // new data also goes directly to the replacement, which counts as
 // reconstruction.
 func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc layout.Loc, value uint64, sp *telemetry.Span, finish func()) {
-	others := a.dataUnitsOf(stripe, loc) // G-2 surviving data units
+	others := a.dataUnitsOf(stripe, loc) // surviving data units
 	toReplacement := (a.replacement || a.spareLay != nil) && a.cfg.Algorithm != Baseline
-	commitParity := func(newParity uint64) {
+	var qloc layout.Loc
+	if a.parities == 2 {
+		qloc = layout.ParityLocOf(a.lay, stripe, 1)
+	}
+	commitParity := func(newParity, newQ uint64) {
 		a.phaseSpan = sp
-		if toReplacement {
-			a.io([]xfer{{loc: ploc, write: true}, {loc: loc, write: true}}, userPriority, func(_ []xfer) {
-				a.setUnitVal(ploc, newParity)
-				a.setUnitVal(loc, value)
-				a.expected[unit] = value
-				a.markReconstructed(loc.Offset)
-				finish()
-			})
-			return
+		xs := make([]xfer, 0, 3)
+		xs = append(xs, xfer{loc: ploc, write: true})
+		if a.parities == 2 {
+			xs = append(xs, xfer{loc: qloc, write: true})
 		}
-		a.io([]xfer{{loc: ploc, write: true}}, userPriority, func(_ []xfer) {
+		if toReplacement {
+			xs = append(xs, xfer{loc: loc, write: true})
+		}
+		a.io(xs, userPriority, func(_ []xfer) {
 			a.setUnitVal(ploc, newParity)
+			if a.parities == 2 {
+				a.setUnitVal(qloc, newQ)
+			}
+			if toReplacement {
+				a.setUnitVal(loc, value)
+			}
 			a.expected[unit] = value
+			if toReplacement {
+				a.markReconstructed(loc.Offset)
+			}
 			finish()
 		})
 	}
 	if len(others) == 0 {
-		// G = 2 (mirroring degenerate): parity is the lost unit's twin.
-		commitParity(value)
+		// No surviving data beside the lost unit: G = 2 (mirroring
+		// degenerate, parity is the lost unit's twin) or G = 3 dual parity
+		// (P and Q encode the single data unit directly).
+		commitParity(value, a.qTerm(stripe, loc, value))
 		return
 	}
 	a.phaseSpan = sp
@@ -623,7 +801,12 @@ func (a *Array) writeLostData(unit int64, loc layout.Loc, stripe int64, ploc lay
 		// value being folded into parity rests on a loss; repairThen
 		// records it and restores before the fold continues.
 		a.repairThen(stripe, fails, userPriority, func() {
-			commitParity(a.xorUnits(others) ^ value)
+			newP := a.xorUnits(others) ^ value
+			var newQ uint64
+			if a.parities == 2 {
+				newQ = a.qSum(stripe, others) ^ a.qTerm(stripe, loc, value)
+			}
+			commitParity(newP, newQ)
 		})
 	})
 }

@@ -142,11 +142,16 @@ func (a *Array) WriteRange(unit int64, count int, done func()) {
 func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 	g := a.lay.G()
 	ploc := layout.ParityLoc(a.lay, grp.stripe)
+	qloc := ploc // == ploc means "no Q"
+	if a.parities == 2 {
+		qloc = layout.ParityLocOf(a.lay, grp.stripe, 1)
+	}
+	hasQ := a.parities == 2
 
 	// Degraded stripes use the single-unit paths, which handle folding,
 	// redirection and reconstruction marking; the group degenerates to
 	// per-unit writes.
-	writable := a.available(ploc)
+	writable := a.available(ploc) && (!hasQ || a.available(qloc))
 	for _, loc := range grp.locs {
 		if !a.available(loc) {
 			writable = false
@@ -178,7 +183,7 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 		// State may have changed while waiting; bail to per-unit writes
 		// if the stripe degraded (writeLocked handles every case, but
 		// we must not hold the lock across its own acquire).
-		stillWritable := a.available(ploc)
+		stillWritable := a.available(ploc) && (!hasQ || a.available(qloc))
 		for _, loc := range grp.locs {
 			if !a.available(loc) {
 				stillWritable = false
@@ -194,19 +199,34 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 			return
 		}
 
+		// qDelta sums the written units' contributions to Q, old vs new.
+		qOfValues := func() uint64 {
+			var q uint64
+			for i, loc := range grp.locs {
+				q ^= a.qTerm(grp.stripe, loc, values[i])
+			}
+			return q
+		}
 		commit := func() []xfer {
-			xs := make([]xfer, 0, k+1)
+			xs := make([]xfer, 0, k+2)
 			for _, loc := range grp.locs {
 				xs = append(xs, xfer{loc: loc, write: true})
 			}
-			return append(xs, xfer{loc: ploc, write: true})
+			xs = append(xs, xfer{loc: ploc, write: true})
+			if hasQ {
+				xs = append(xs, xfer{loc: qloc, write: true})
+			}
+			return xs
 		}
-		apply := func(parity uint64) {
+		apply := func(parity, q uint64) {
 			for i, loc := range grp.locs {
 				a.setUnitVal(loc, values[i])
 				a.expected[grp.units[i]] = values[i]
 			}
 			a.setUnitVal(ploc, parity)
+			if hasQ {
+				a.setUnitVal(qloc, q)
+			}
 		}
 
 		// The reconstruct-write path pre-reads the stripe's untouched
@@ -220,7 +240,7 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 		var others []layout.Loc
 		othersReadable := true
 		for j := 0; j < g; j++ {
-			if j == a.lay.ParityPos(grp.stripe) {
+			if layout.IsParityPos(a.lay, grp.stripe, j) {
 				continue
 			}
 			u := a.lay.Unit(grp.stripe, j)
@@ -233,26 +253,40 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 		}
 
 		switch {
-		case k == g-1:
+		case k == layout.DataPerStripe(a.lay):
 			// Large write: parity from the new data alone.
 			var parity uint64
 			for _, v := range values {
 				parity ^= v
 			}
+			var q uint64
+			if hasQ {
+				q = qOfValues()
+			}
 			phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
 			a.phaseSpan = phase
 			a.io(commit(), userPriority, func(_ []xfer) {
-				apply(parity)
+				apply(parity, q)
 				finish()
 			})
-		case 2*(k+1) <= g || !othersReadable:
+		case 2*(k+a.parities) <= g || !othersReadable:
 			// Read-modify-write: pre-read old data and parity. Old
 			// contents are sampled at submit time (see writeNormal).
 			parity := a.unitVal(ploc)
+			var q uint64
 			for i, loc := range grp.locs {
 				parity ^= a.unitVal(loc) ^ values[i]
+				if hasQ {
+					q ^= a.qTerm(grp.stripe, loc, a.unitVal(loc)^values[i])
+				}
+			}
+			if hasQ {
+				q ^= a.unitVal(qloc)
 			}
 			pre := append(reads(grp.locs), xfer{loc: ploc})
+			if hasQ {
+				pre = append(pre, xfer{loc: qloc})
+			}
 			phase = sp.Child(telemetry.PhasePreread, a.eng.Now())
 			a.phaseSpan = phase
 			a.io(pre, userPriority, func(fails []xfer) {
@@ -261,7 +295,7 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 					phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
 					a.phaseSpan = phase
 					a.io(commit(), userPriority, func(_ []xfer) {
-						apply(parity)
+						apply(parity, q)
 						finish()
 					})
 				})
@@ -272,6 +306,10 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 			for _, v := range values {
 				parity ^= v
 			}
+			var q uint64
+			if hasQ {
+				q = a.qSum(grp.stripe, others) ^ qOfValues()
+			}
 			phase = sp.Child(telemetry.PhasePreread, a.eng.Now())
 			a.phaseSpan = phase
 			a.io(reads(others), userPriority, func(fails []xfer) {
@@ -280,7 +318,7 @@ func (a *Array) writeGroup(grp stripeGroup, sp *telemetry.Span, done func()) {
 					phase = sp.Child(telemetry.PhaseCommit, a.eng.Now())
 					a.phaseSpan = phase
 					a.io(commit(), userPriority, func(_ []xfer) {
-						apply(parity)
+						apply(parity, q)
 						finish()
 					})
 				})

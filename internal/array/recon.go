@@ -133,7 +133,7 @@ func (a *Array) reconStep() {
 			a.deferRecon(0)
 			return
 		}
-		surv := layout.SurvivingUnits(a.lay, loc)
+		surv := a.reconSources(loc)
 		for _, u := range surv {
 			a.reconReads[u.Disk]++
 		}
@@ -145,7 +145,7 @@ func (a *Array) reconStep() {
 				a.locks.release(stripe)
 				return
 			}
-			value := a.xorUnits(surv)
+			value := a.reconValue(loc, surv)
 			a.readPhase.Add(a.eng.Now() - readStart)
 			readSp.End(a.eng.Now())
 			writeStart := a.eng.Now()

@@ -52,8 +52,29 @@ func NewMapping(c, g, maxTuples int) (*Mapping, error) {
 	return &Mapping{Layout: l, Design: sel.Design, Exact: sel.Exact, C: c, G: sel.Design.K}, nil
 }
 
+// NewPQMapping selects a dual-parity (P+Q, RAID-6-style) layout: unit
+// placement is exactly what NewMapping chooses for (c, g), but each stripe
+// designates two of its G units as parity — P (XOR) and Q (GF(2^8)
+// Reed–Solomon) — so the array tolerates any two disk failures. The
+// balance criteria carry over to both parity units (layout.DualParity).
+func NewPQMapping(c, g, maxTuples int) (*Mapping, error) {
+	m, err := NewMapping(c, g, maxTuples)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := layout.NewDualParity(m.Layout)
+	if err != nil {
+		return nil, err
+	}
+	m.Layout = dp
+	return m, nil
+}
+
 // Alpha returns the achieved declustering ratio (G−1)/(C−1).
 func (m *Mapping) Alpha() float64 { return m.Layout.Alpha() }
+
+// Parities returns the layout's parity units per stripe: 1 (P) or 2 (P+Q).
+func (m *Mapping) Parities() int { return layout.NumParities(m.Layout) }
 
 // ParityOverhead returns the fraction of array capacity spent on
 // redundancy: 1/G, or (parity + spare) 2/(G+1) for distributed-sparing
@@ -62,22 +83,26 @@ func (m *Mapping) ParityOverhead() float64 {
 	if _, ok := m.Layout.(layout.SpareLayout); ok {
 		return 2 / float64(m.G+1)
 	}
-	return 1 / float64(m.G)
+	return float64(layout.NumParities(m.Layout)) / float64(m.G)
 }
 
 // Describe returns a one-line human-readable summary.
 func (m *Mapping) Describe() string {
+	code := ""
+	if m.Parities() == 2 {
+		code = " P+Q"
+	}
 	if m.Design == nil {
-		return fmt.Sprintf("RAID 5 left-symmetric, C=%d (α=1.00, parity overhead %.1f%%)",
-			m.C, 100*m.ParityOverhead())
+		return fmt.Sprintf("RAID 5 left-symmetric%s, C=%d (α=1.00, parity overhead %.1f%%)",
+			code, m.C, 100*m.ParityOverhead())
 	}
 	p, _ := m.Design.Params()
 	note := ""
 	if !m.Exact {
 		note = " [closest feasible α]"
 	}
-	return fmt.Sprintf("declustered, C=%d G=%d via %s: %s, parity overhead %.1f%%%s",
-		m.C, m.G, m.Design.Source, p, 100*m.ParityOverhead(), note)
+	return fmt.Sprintf("declustered%s, C=%d G=%d via %s: %s, parity overhead %.1f%%%s",
+		code, m.C, m.G, m.Design.Source, p, 100*m.ParityOverhead(), note)
 }
 
 // Criteria evaluates the layout against the paper's §4.1 goodness criteria.

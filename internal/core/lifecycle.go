@@ -42,12 +42,14 @@ type LifecycleReport struct {
 	// Second failures are real: a failure arrival during a degraded
 	// window kills a second drive, and the array enumerates exactly
 	// which stripes lost two units (declustering loses the fraction
-	// α of the at-risk stripes; RAID 5 loses them all). The lost data
-	// is restored out of band so the run continues.
-	DoubleFailures int   // surviving disks killed while degraded
-	StripesAtRisk  int64 // stripes still exposed when the second disk died
-	StripesLost    int64 // stripes that lost two or more units
-	UnitsLost      int64 // units beyond redundancy, double failures and media errors alike
+	// α of the at-risk stripes; RAID 5 loses them all; the P+Q code
+	// decodes every one, so StripesLost collapses to zero). The lost
+	// data is restored out of band so the run continues.
+	DoubleFailures  int   // surviving disks killed while degraded
+	StripesAtRisk   int64 // stripes still exposed when the second disk died
+	StripesLost     int64 // stripes with more dead units than the code corrects
+	StripesSurvived int64 // double-dead stripes the P+Q code still decoded
+	UnitsLost       int64 // units beyond redundancy, double failures and media errors alike
 
 	// ReplacementFailures counts failure arrivals that landed on the
 	// replacement disk mid-rebuild: the checkpoint is discarded (the
@@ -213,6 +215,7 @@ func RunLifecycle(cfg LifecycleConfig) (LifecycleReport, error) {
 			}
 			rep.StripesAtRisk += df.StripesAtRisk
 			rep.StripesLost += df.StripesLost
+			rep.StripesSurvived += df.StripesSurvived
 		}
 	}
 

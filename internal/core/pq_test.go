@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPQMapping(t *testing.T) {
+	m, err := NewPQMapping(21, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parities() != 2 {
+		t.Fatalf("Parities() = %d, want 2", m.Parities())
+	}
+	// Two parity units per G=5 stripe: 40% overhead.
+	if got := m.ParityOverhead(); got != 0.4 {
+		t.Fatalf("overhead %v, want 0.4", got)
+	}
+	if !strings.Contains(m.Describe(), "P+Q") {
+		t.Fatalf("describe: %s", m.Describe())
+	}
+}
+
+func pqSmallCfg(g int) SimConfig {
+	cfg := smallCfg(g)
+	cfg.Parities = 2
+	return cfg
+}
+
+func TestRunsWithDualParity(t *testing.T) {
+	ff, err := RunFaultFree(pqSmallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Requests < 1000 {
+		t.Fatalf("only %d requests measured", ff.Requests)
+	}
+	dg, err := RunDegraded(pqSmallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.MeanResponseMS <= 0 {
+		t.Fatalf("degraded P+Q run reported %v ms response", dg.MeanResponseMS)
+	}
+	rc, err := RunReconstruction(pqSmallCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.ReconTimeMS <= 0 || rc.ReconCycles == 0 {
+		t.Fatalf("missing reconstruction metrics: %+v", rc)
+	}
+}
+
+func TestDualParityWritesCostMore(t *testing.T) {
+	// The α × rebuild-traffic × code tradeoff's cost side: the same
+	// write-heavy workload pays six accesses per small write under P+Q
+	// against four under P, so responses are slower.
+	cfg := smallCfg(5)
+	cfg.ReadFraction = 0
+	single, err := RunFaultFree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := cfg
+	pq.Parities = 2
+	dual, err := RunFaultFree(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.MeanResponseMS <= single.MeanResponseMS {
+		t.Fatalf("P+Q write response %v ms not above single parity's %v ms",
+			dual.MeanResponseMS, single.MeanResponseMS)
+	}
+}
+
+func TestLifecycleDualParityLosesNothingToDoubleFailures(t *testing.T) {
+	// Accelerated aging with slow replacement makes true second failures
+	// common; the P+Q run must decode every double-dead stripe.
+	cfg := lifecycleCfg()
+	cfg.Sim.Parities = 2
+	cfg.ReplacementDelayMS = 20_000
+	rep, err := RunLifecycle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DoubleFailures == 0 {
+		t.Fatal("no double failures in an accelerated run; test is vacuous")
+	}
+	if rep.StripesSurvived == 0 {
+		t.Fatalf("%d double failures but no surviving double-dead stripes: %+v",
+			rep.DoubleFailures, rep)
+	}
+	if rep.StripesLost != 0 || rep.UnitsLost != 0 || rep.DataLossEvents != 0 {
+		t.Fatalf("P+Q lifecycle lost data: %+v", rep)
+	}
+
+	// The identical run under single parity loses stripes.
+	sp := lifecycleCfg()
+	sp.ReplacementDelayMS = 20_000
+	srep, err := RunLifecycle(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.DoubleFailures == 0 || srep.StripesLost == 0 {
+		t.Fatalf("single-parity control lost nothing: %+v", srep)
+	}
+}
+
+func TestSimConfigParitiesValidation(t *testing.T) {
+	cfg := smallCfg(5)
+	cfg.Parities = 3
+	if _, err := RunFaultFree(cfg); err == nil {
+		t.Fatal("Parities=3 accepted")
+	}
+	cfg = smallCfg(5)
+	cfg.Parities = 2
+	cfg.DistributedSparing = true
+	if _, err := RunFaultFree(cfg); err == nil {
+		t.Fatal("Parities=2 with distributed sparing accepted")
+	}
+}

@@ -65,6 +65,13 @@ type SimConfig struct {
 	// survivors instead of onto a replacement disk.
 	DistributedSparing bool
 
+	// Parities selects the redundancy code: 0 or 1 is the paper's single
+	// parity (P), 2 adds a GF(2^8) Reed–Solomon unit per stripe (the
+	// RAID-6-style P+Q code) so the array tolerates any two disk
+	// failures, at the cost of a six-access read-modify-write and one
+	// fewer data unit per stripe. Incompatible with DistributedSparing.
+	Parities int
+
 	Algorithm  array.ReconAlgorithm
 	ReconProcs int // 0 = 1
 
@@ -343,9 +350,16 @@ func (p *pendingReq) record() {
 func newRunner(cfg SimConfig) (*runner, error) {
 	var m *Mapping
 	var err error
-	if cfg.DistributedSparing {
+	switch {
+	case cfg.Parities < 0 || cfg.Parities > 2:
+		return nil, fmt.Errorf("core: %d parities per stripe; 1 (P) or 2 (P+Q) supported", cfg.Parities)
+	case cfg.Parities == 2 && cfg.DistributedSparing:
+		return nil, fmt.Errorf("core: distributed sparing is single-parity only")
+	case cfg.DistributedSparing:
 		m, err = NewSparedMapping(cfg.C, cfg.G, cfg.MaxTuples)
-	} else {
+	case cfg.Parities == 2:
+		m, err = NewPQMapping(cfg.C, cfg.G, cfg.MaxTuples)
+	default:
 		m, err = NewMapping(cfg.C, cfg.G, cfg.MaxTuples)
 	}
 	if err != nil {

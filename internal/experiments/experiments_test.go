@@ -207,6 +207,37 @@ func TestFig86ModelPessimistic(t *testing.T) {
 	}
 }
 
+func TestExtPQTradeoff(t *testing.T) {
+	o := fastOpts()
+	rows, _, err := ExtPQ(o, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want P and P+Q", len(rows))
+	}
+	p, pq := rows[0], rows[1]
+	if p.Code != "P" || pq.Code != "P+Q" {
+		t.Fatalf("row order: %q, %q", p.Code, pq.Code)
+	}
+	// The tradeoff's two sides: P+Q doubles the parity overhead and slows
+	// the write-heavy half of the mix (six-access RMW), but a worst-case
+	// second failure loses α of the at-risk stripes under P and nothing
+	// under P+Q.
+	if pq.Overhead != 2*p.Overhead {
+		t.Errorf("P+Q overhead %.2f, want twice P's %.2f", pq.Overhead, p.Overhead)
+	}
+	if pq.FaultFree <= p.FaultFree {
+		t.Errorf("P+Q fault-free response %.1f ms not above P's %.1f ms", pq.FaultFree, p.FaultFree)
+	}
+	if p.LostFrac <= 0 {
+		t.Errorf("single parity lost fraction %.3f, want > 0", p.LostFrac)
+	}
+	if pq.LostFrac != 0 {
+		t.Errorf("P+Q lost fraction %.3f, want 0", pq.LostFrac)
+	}
+}
+
 func TestExtThrottleTradeoff(t *testing.T) {
 	o := fastOpts()
 	pts, _, err := ExtThrottle(o, 5, []float64{0, 10})

@@ -5,6 +5,7 @@ import (
 
 	"declust/internal/analytic"
 	"declust/internal/core"
+	"declust/internal/disk"
 )
 
 // Extension experiments: the paper's §9 future-work items, implemented and
@@ -363,6 +364,102 @@ func ExtSparing(o Options, g int) ([]SparingRow, Table, error) {
 	}
 	for _, row := range rows {
 		t.Rows = append(t.Rows, []string{row.Label, f1(row.ReconMin), f1(row.ResponseMS)})
+	}
+	return rows, t, nil
+}
+
+// PQRow is one line of the single- vs dual-parity code comparison.
+type PQRow struct {
+	Code       string // "P" or "P+Q"
+	G          int
+	Overhead   float64
+	FaultFree  float64
+	Recovering float64
+	ReconMin   float64
+	LostFrac   float64 // worst-case second-failure lost fraction of at-risk stripes
+}
+
+// ExtPQ measures the α × rebuild-traffic × code tradeoff of the
+// RAID-6-style P+Q extension: for each stripe size the same workload runs
+// under single parity and under P+Q (six-access small writes,
+// two-survivor reconstruction), and an idle-array enumeration reports the
+// worst-case second-failure loss — α of the at-risk stripes under P,
+// zero under P+Q, which buys the second fault tolerance with one more
+// parity unit of overhead per stripe and two extra accesses per small
+// write.
+func ExtPQ(o Options, gs []int) ([]PQRow, Table, error) {
+	o = o.withDefaults()
+	if gs == nil {
+		gs = []int{5, 10}
+	}
+	t := Table{ID: "ext-pq",
+		Title:  "Single parity vs P+Q dual parity (C=21, 8-way recon, rate 210, 50% reads)",
+		Header: []string{"code", "G", "overhead", "fault-free (ms)", "recovering (ms)", "recon (min)", "2nd-failure loss"}}
+	geom := disk.IBM0661()
+	if o.ScaleNum > 0 && o.ScaleDen > 0 {
+		geom = geom.Scaled(o.ScaleNum, o.ScaleDen)
+	}
+	type job struct {
+		g, parities int
+	}
+	var jobs []job
+	for _, g := range gs {
+		for _, parities := range []int{1, 2} {
+			jobs = append(jobs, job{g, parities})
+		}
+	}
+	rows, err := RunPoints(o.Workers, len(jobs), func(i int) (PQRow, error) {
+		j := jobs[i]
+		cfg := o.simConfig(j.g, 210, 0.5)
+		cfg.ReconProcs = 8
+		newMap := core.NewMapping
+		code := "P"
+		if j.parities == 2 {
+			cfg.Parities = 2
+			newMap = core.NewPQMapping
+			code = "P+Q"
+		}
+		ff, err := core.RunFaultFree(cfg)
+		if err != nil {
+			return PQRow{}, fmt.Errorf("ext-pq %s G=%d fault-free: %w", code, j.g, err)
+		}
+		rc, err := core.RunReconstruction(cfg)
+		if err != nil {
+			return PQRow{}, fmt.Errorf("ext-pq %s G=%d recon: %w", code, j.g, err)
+		}
+		// The loss side of the tradeoff costs no simulation: enumerate the
+		// worst-case second failure (first failure fully unrecovered).
+		m, err := newMap(21, j.g, 0)
+		if err != nil {
+			return PQRow{}, fmt.Errorf("ext-pq %s G=%d mapping: %w", code, j.g, err)
+		}
+		arr, err := newIdleArray(m, geom)
+		if err != nil {
+			return PQRow{}, fmt.Errorf("ext-pq %s G=%d array: %w", code, j.g, err)
+		}
+		if err := arr.Fail(0); err != nil {
+			return PQRow{}, err
+		}
+		df, err := arr.SecondFail(1)
+		if err != nil {
+			return PQRow{}, err
+		}
+		lost := 0.0
+		if df.StripesAtRisk > 0 {
+			lost = float64(df.StripesLost) / float64(df.StripesAtRisk)
+		}
+		return PQRow{Code: code, G: j.g, Overhead: float64(j.parities) / float64(j.g),
+			FaultFree: ff.MeanResponseMS, Recovering: rc.MeanResponseMS,
+			ReconMin: rc.ReconTimeMS / 60_000, LostFrac: lost}, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.Code, fmt.Sprint(row.G), fmt.Sprintf("%.0f%%", 100*row.Overhead),
+			f1(row.FaultFree), f1(row.Recovering), f1(row.ReconMin), f2(row.LostFrac),
+		})
 	}
 	return rows, t, nil
 }

@@ -1,0 +1,181 @@
+// Package gf256 implements arithmetic over GF(2^8), the Galois field the
+// RAID-6 Q parity is computed in. The field is built on the polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d) with generator 2 — the conventional
+// RAID-6 field (Anvin, "The mathematics of RAID-6") — so every nonzero
+// element is a power of 2 and multiplication reduces to exp/log table
+// lookups.
+//
+// For a stripe with data units d_0..d_{k-1}, the two parity units are
+//
+//	P = d_0 ⊕ d_1 ⊕ ... ⊕ d_{k-1}            (plain XOR)
+//	Q = g^0·d_0 ⊕ g^1·d_1 ⊕ ... ⊕ g^{k-1}·d_{k-1}
+//
+// applied byte-wise. P and Q together correct any two erasures; the
+// package provides the scalar field ops, the byte-slice kernels the
+// storage engine's Q path is built from, and the coefficient solver for
+// the two-data-erasure case.
+package gf256
+
+// Poly is the field's reduction polynomial (x^8+x^4+x^3+x^2+1) and
+// Generator its primitive element.
+const (
+	Poly      = 0x11d
+	Generator = 2
+)
+
+// exp holds g^i for i in [0, 510): doubling the table length lets Mul skip
+// the mod-255 reduction of the summed logs. log is its inverse (log[0] is
+// unused — zero has no logarithm).
+var (
+	exp [510]byte
+	log [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		exp[i] = byte(x)
+		exp[i+255] = byte(x)
+		log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+}
+
+// Exp returns Generator^n for any n (negative exponents invert).
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return exp[n]
+}
+
+// Log returns the discrete log of x (base Generator). It panics on 0,
+// which has no logarithm.
+func Log(x byte) int {
+	if x == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(log[x])
+}
+
+// Mul returns a·b in the field.
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return exp[int(log[a])+int(log[b])]
+}
+
+// Div returns a/b in the field. It panics on division by zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(log[a]) - int(log[b])
+	if d < 0 {
+		d += 255
+	}
+	return exp[d]
+}
+
+// Inv returns the multiplicative inverse of x. It panics on 0.
+func Inv(x byte) byte {
+	if x == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return exp[255-int(log[x])]
+}
+
+// MulSlice multiplies every byte of src by c and stores the products in
+// dst (dst and src may alias). Lengths must match. c == 0 zeroes dst,
+// c == 1 copies.
+func MulSlice(dst, src []byte, c byte) {
+	_ = dst[len(src)-1]
+	switch c {
+	case 0:
+		for i := range src {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := int(log[c])
+		for i, b := range src {
+			if b == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = exp[lc+int(log[b])]
+			}
+		}
+	}
+}
+
+// MulAddSlice XORs c·src into dst byte-wise — the fused kernel the Q
+// computation Q = Σ g^i·d_i is folded with. Lengths must match.
+func MulAddSlice(dst, src []byte, c byte) {
+	_ = dst[len(src)-1]
+	switch c {
+	case 0:
+		// c·src is zero: nothing to fold.
+	case 1:
+		for i, b := range src {
+			dst[i] ^= b
+		}
+	default:
+		lc := int(log[c])
+		for i, b := range src {
+			if b != 0 {
+				dst[i] ^= exp[lc+int(log[b])]
+			}
+		}
+	}
+}
+
+// MulWord multiplies each of the 8 bytes of a 64-bit word by c — the
+// word-sized kernel for simulators that model one uint64 per unit.
+func MulWord(c byte, w uint64) uint64 {
+	if c == 0 || w == 0 {
+		return 0
+	}
+	if c == 1 {
+		return w
+	}
+	lc := int(log[c])
+	var out uint64
+	for i := 0; i < 64; i += 8 {
+		b := byte(w >> i)
+		if b != 0 {
+			out |= uint64(exp[lc+int(log[b])]) << i
+		}
+	}
+	return out
+}
+
+// TwoErasureCoeffs returns the decode coefficients for two erased data
+// units at stripe-data ordinals x < y, solving
+//
+//	Pxy = d_x ⊕ d_y
+//	Qxy = g^x·d_x ⊕ g^y·d_y
+//
+// (Pxy and Qxy are P and Q with every surviving data unit's contribution
+// removed). The solution is
+//
+//	d_y = a·Pxy ⊕ b·Qxy,  d_x = d_y ⊕ Pxy
+//
+// with a = g^x/(g^x ⊕ g^y) and b = 1/(g^x ⊕ g^y). It panics unless
+// 0 <= x < y (g^x ⊕ g^y is then nonzero, so the system is solvable).
+func TwoErasureCoeffs(x, y int) (a, b byte) {
+	if x < 0 || x >= y {
+		panic("gf256: need 0 <= x < y")
+	}
+	gx, gy := Exp(x), Exp(y)
+	den := gx ^ gy
+	return Div(gx, den), Inv(den)
+}

@@ -79,10 +79,15 @@ func CheckWithMapper(m DataMapper) (Criteria, error) {
 		}
 	}
 
-	// Criterion 3: constant parity units per disk over the full table.
+	// Criterion 3: constant parity units per disk over the full table
+	// (counting every parity unit of the stripe — P and Q both, for
+	// dual-parity layouts).
 	parity := make([]int, disks)
+	nPar := NumParities(l)
 	for s := int64(0); s < full; s++ {
-		parity[ParityLoc(l, s).Disk]++
+		for k := 0; k < nPar; k++ {
+			parity[ParityLocOf(l, s, k).Disk]++
+		}
 	}
 	c.DistributedParity = true
 	c.ParityPerDisk = parity[0]
@@ -97,14 +102,15 @@ func CheckWithMapper(m DataMapper) (Criteria, error) {
 	// policy enforced at design selection time (blockdesign.Select).
 
 	// Criterion 5: the data units of each parity stripe occupy one
-	// contiguous, (G−1)-aligned run of logical addresses, so a write of
-	// that run needs no pre-reads and touches exactly one stripe.
+	// contiguous, aligned run of logical addresses (length G minus the
+	// stripe's parity units), so a write of that run needs no pre-reads
+	// and touches exactly one stripe.
+	dp := DataPerStripe(l)
 	c.LargeWriteOptimization = true
 	for s := int64(0); s < full; s++ {
-		pp := l.ParityPos(s)
 		lo, hi := int64(-1), int64(-1)
 		for j := 0; j < g; j++ {
-			if j == pp {
+			if IsParityPos(l, s, j) {
 				continue
 			}
 			n := m.Index(s, j)
@@ -115,7 +121,7 @@ func CheckWithMapper(m DataMapper) (Criteria, error) {
 				hi = n
 			}
 		}
-		if hi-lo != int64(g-2) || lo%int64(g-1) != 0 {
+		if hi-lo != int64(dp-1) || lo%int64(dp) != 0 {
 			c.LargeWriteOptimization = false
 			break
 		}
@@ -124,7 +130,7 @@ func CheckWithMapper(m DataMapper) (Criteria, error) {
 	// Criterion 6: any C consecutive data units (aligned anywhere) land
 	// on C distinct disks.
 	c.MaximalParallelism = true
-	limit := full * int64(g-1)
+	limit := full * int64(dp)
 	for start := int64(0); start+int64(disks) <= limit && start < full; start++ {
 		seen := make(map[int]bool, disks)
 		ok := true

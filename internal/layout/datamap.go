@@ -66,9 +66,8 @@ func NewParallelMapper(l Layout) *ParallelMapper {
 		}
 	}
 	for s := int64(0); s < fullStripes; s++ {
-		pp := l.ParityPos(s)
 		for j := 0; j < l.G(); j++ {
-			if j == pp {
+			if IsParityPos(l, s, j) {
 				continue
 			}
 			u := l.Unit(s, j)
@@ -77,7 +76,7 @@ func NewParallelMapper(l Layout) *ParallelMapper {
 		}
 	}
 	// Every disk carries the same number of data slots per full cycle
-	// (r·(G−1)), by the distributed-parity property.
+	// (r·(G−parities)), by the distributed-parity property.
 	want := len(m.dataSlots[0])
 	for d, slots := range m.dataSlots {
 		if len(slots) != want {
@@ -110,7 +109,7 @@ func (m *ParallelMapper) Loc(n int64) Loc {
 }
 
 func (m *ParallelMapper) Index(stripe int64, j int) int64 {
-	if j == m.l.ParityPos(stripe) {
+	if IsParityPos(m.l, stripe, j) {
 		panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
 	}
 	u := m.l.Unit(stripe, j)

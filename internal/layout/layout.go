@@ -53,7 +53,7 @@ type Layout interface {
 // fit on an array whose disks hold unitsPerDisk units each; per-disk usable
 // capacity is rounded down to a whole number of allocation periods.
 func DataUnits(l Layout, unitsPerDisk int64) int64 {
-	return UsableStripes(l, unitsPerDisk) * int64(l.G()-1)
+	return UsableStripes(l, unitsPerDisk) * int64(DataPerStripe(l))
 }
 
 // UsableStripes returns how many whole parity stripes fit when each disk
@@ -72,31 +72,19 @@ func UsableUnitsPerDisk(l Layout, unitsPerDisk int64) int64 {
 
 // DataLoc resolves logical data unit n under the paper's "by parity stripe
 // index" data mapping: data units fill successive parity stripes, skipping
-// each stripe's parity position.
+// each stripe's parity position(s).
 func DataLoc(l Layout, n int64) Loc {
-	g := int64(l.G())
-	stripe := n / (g - 1)
-	d := int(n % (g - 1))
-	j := d
-	if j >= l.ParityPos(stripe) {
-		j++
-	}
-	return l.Unit(stripe, j)
+	dp := int64(DataPerStripe(l))
+	stripe := n / dp
+	d := int(n % dp)
+	return l.Unit(stripe, DataPos(l, stripe, d))
 }
 
 // DataIndex inverts DataLoc for a unit known to be a data unit: given its
 // stripe and position, return the logical data unit number. It panics if
-// position j is the stripe's parity position.
+// position j holds parity.
 func DataIndex(l Layout, stripe int64, j int) int64 {
-	pp := l.ParityPos(stripe)
-	if j == pp {
-		panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
-	}
-	d := j
-	if j > pp {
-		d--
-	}
-	return stripe*int64(l.G()-1) + int64(d)
+	return stripe*int64(DataPerStripe(l)) + int64(DataOrdinal(l, stripe, j))
 }
 
 // ParityLoc returns the location of stripe s's parity unit.

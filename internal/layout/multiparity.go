@@ -1,0 +1,200 @@
+package layout
+
+import "fmt"
+
+// MultiParity is implemented by layouts whose stripes carry more than one
+// parity unit — the multi-failure generalization of the paper's layouts
+// (Dau et al. extend declustering to t failures via t-designs; this
+// package provides the t = 2 RAID-6-style P+Q code). Parity unit 0 is P
+// (plain XOR) and unit 1 is Q (the GF(2^8) Reed–Solomon sum); see
+// internal/gf256 for the code itself.
+//
+// Layouts that do not implement MultiParity carry exactly one parity unit
+// per stripe (the paper's original model); every helper in this package
+// treats them so.
+type MultiParity interface {
+	Layout
+	// Parities returns the number of parity units per stripe (>= 1).
+	Parities() int
+	// ParityPosK returns the position of parity unit k of stripe s.
+	// ParityPosK(s, 0) equals ParityPos(s).
+	ParityPosK(stripe int64, k int) int
+}
+
+// NumParities returns how many parity units each stripe of l carries:
+// Parities() for MultiParity layouts, 1 otherwise.
+func NumParities(l Layout) int {
+	if mp, ok := l.(MultiParity); ok {
+		return mp.Parities()
+	}
+	return 1
+}
+
+// DataPerStripe returns how many data units each stripe of l carries:
+// G minus the stripe's parity units.
+func DataPerStripe(l Layout) int { return l.G() - NumParities(l) }
+
+// ParityPosOf returns the position of parity unit k of stripe s (k = 0 is
+// P; k = 1 is Q for dual-parity layouts).
+func ParityPosOf(l Layout, stripe int64, k int) int {
+	if mp, ok := l.(MultiParity); ok {
+		return mp.ParityPosK(stripe, k)
+	}
+	if k != 0 {
+		panic(fmt.Sprintf("layout: parity unit %d of a single-parity layout", k))
+	}
+	return l.ParityPos(stripe)
+}
+
+// ParityLocOf returns the location of parity unit k of stripe s.
+func ParityLocOf(l Layout, stripe int64, k int) Loc {
+	return l.Unit(stripe, ParityPosOf(l, stripe, k))
+}
+
+// IsParityPos reports whether position j of stripe s holds a parity unit.
+func IsParityPos(l Layout, stripe int64, j int) bool {
+	pp := l.ParityPos(stripe)
+	if j == pp {
+		return true
+	}
+	if mp, ok := l.(MultiParity); ok {
+		for k := 1; k < mp.Parities(); k++ {
+			if j == mp.ParityPosK(stripe, k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DataPos returns the position within stripe s of the stripe's d-th data
+// unit (d in [0, DataPerStripe)): positions in ascending order, skipping
+// the parity positions. The ordinal d is also the unit's Reed–Solomon
+// coefficient index — Q = Σ g^d · data_d.
+func DataPos(l Layout, stripe int64, d int) int {
+	mp, ok := l.(MultiParity)
+	if !ok || mp.Parities() == 1 {
+		j := d
+		if j >= l.ParityPos(stripe) {
+			j++
+		}
+		return j
+	}
+	if mp.Parities() != 2 {
+		panic(fmt.Sprintf("layout: %d parities unsupported", mp.Parities()))
+	}
+	lo, hi := mp.ParityPosK(stripe, 0), mp.ParityPosK(stripe, 1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	j := d
+	if j >= lo {
+		j++
+	}
+	if j >= hi {
+		j++
+	}
+	return j
+}
+
+// DataOrdinal inverts DataPos: the data ordinal of position j within
+// stripe s. It panics if j holds parity.
+func DataOrdinal(l Layout, stripe int64, j int) int {
+	mp, ok := l.(MultiParity)
+	if !ok || mp.Parities() == 1 {
+		pp := l.ParityPos(stripe)
+		if j == pp {
+			panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
+		}
+		d := j
+		if j > pp {
+			d--
+		}
+		return d
+	}
+	lo, hi := mp.ParityPosK(stripe, 0), mp.ParityPosK(stripe, 1)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if j == lo || j == hi {
+		panic(fmt.Sprintf("layout: position %d of stripe %d is parity, not data", j, stripe))
+	}
+	d := j
+	if j > hi {
+		d--
+	}
+	if j > lo {
+		d--
+	}
+	return d
+}
+
+// DualParity wraps a single-parity layout into a P+Q dual-parity one: unit
+// placement is untouched (so the wrapped layout's balance properties
+// carry over verbatim), but each stripe designates two of its G positions
+// as parity — P at the inner layout's parity position and Q at the
+// position one slot before it (mod G). Q therefore rotates exactly as P
+// does: over a full parity-rotation cycle every disk carries equal P and
+// equal Q load, preserving the paper's distributed-parity criterion for
+// both units, and the pair-count balance (criterion 2) bounds every
+// surviving disk's two-erasure decode load the same way it bounds
+// single-failure reconstruction.
+type DualParity struct {
+	inner Layout
+}
+
+// NewDualParity builds a P+Q layout over inner, which must be
+// single-parity with G >= 3 (a stripe needs at least one data unit beside
+// P and Q).
+func NewDualParity(inner Layout) (*DualParity, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("layout: nil inner layout")
+	}
+	if NumParities(inner) != 1 {
+		return nil, fmt.Errorf("layout: dual parity wraps single-parity layouts only")
+	}
+	if inner.G() < 3 {
+		return nil, fmt.Errorf("layout: dual parity needs G >= 3, have G=%d", inner.G())
+	}
+	return &DualParity{inner: inner}, nil
+}
+
+// Inner returns the wrapped single-parity layout.
+func (l *DualParity) Inner() Layout { return l.inner }
+
+func (l *DualParity) Disks() int                   { return l.inner.Disks() }
+func (l *DualParity) G() int                       { return l.inner.G() }
+func (l *DualParity) Alpha() float64               { return l.inner.Alpha() }
+func (l *DualParity) Unit(stripe int64, j int) Loc { return l.inner.Unit(stripe, j) }
+func (l *DualParity) Locate(loc Loc) (int64, int)  { return l.inner.Locate(loc) }
+func (l *DualParity) StripesPerPeriod() int64      { return l.inner.StripesPerPeriod() }
+func (l *DualParity) UnitsPerDiskPerPeriod() int64 { return l.inner.UnitsPerDiskPerPeriod() }
+
+// ParityPos returns the P position (parity unit 0).
+func (l *DualParity) ParityPos(stripe int64) int { return l.inner.ParityPos(stripe) }
+
+// FullCycleStripes forwards the inner layout's full parity-rotation cycle
+// (the span criteria checks cover), defaulting to G allocation periods.
+func (l *DualParity) FullCycleStripes() int64 {
+	if fc, ok := l.inner.(FullCycler); ok {
+		return fc.FullCycleStripes()
+	}
+	return l.inner.StripesPerPeriod() * int64(l.inner.G())
+}
+
+// Parities returns 2.
+func (l *DualParity) Parities() int { return 2 }
+
+// ParityPosK places P at the inner parity position and Q one position
+// before it, wrapping around the stripe.
+func (l *DualParity) ParityPosK(stripe int64, k int) int {
+	pp := l.inner.ParityPos(stripe)
+	switch k {
+	case 0:
+		return pp
+	case 1:
+		g := l.inner.G()
+		return (pp + g - 1) % g
+	}
+	panic(fmt.Sprintf("layout: parity unit %d of a dual-parity layout", k))
+}

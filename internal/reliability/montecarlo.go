@@ -7,6 +7,12 @@
 // other disk fails inside that window, the array loses data (it is
 // single-failure-correcting). The paper's §2 point — that larger C hurts
 // reliability while shorter reconstruction helps — falls straight out.
+//
+// With Params.Parities = 2 the array carries the P+Q dual-parity code
+// instead: data loss needs a THIRD failure while two repairs overlap (or
+// a latent sector error surfacing under a two-erasure rebuild), which
+// adds a factor of roughly MTTF/((C−2)·MTTR) to the MTTDL — the 2-fault
+// term of the classical RAID-6 closed form.
 package reliability
 
 import (
@@ -49,6 +55,20 @@ type Params struct {
 	// 0 disables scrubbing — errors then persist until the next rebuild
 	// reads every surviving disk in full.
 	ScrubIntervalHours float64
+
+	// Parities is the redundancy code: 0 or 1 models the paper's single
+	// parity, 2 the P+Q dual-parity code, which survives any two
+	// concurrent disk failures — loss then needs a third failure (or a
+	// latent error) while two repair windows overlap.
+	Parities int
+}
+
+// parities normalizes the Parities field (0 means single parity).
+func (p Params) parities() int {
+	if p.Parities == 0 {
+		return 1
+	}
+	return p.Parities
 }
 
 func (p Params) validate() error {
@@ -60,6 +80,15 @@ func (p Params) validate() error {
 	}
 	if p.LSERatePerDiskHour < 0 || p.ScrubIntervalHours < 0 {
 		return fmt.Errorf("reliability: negative LSE rate or scrub interval %+v", p)
+	}
+	switch p.parities() {
+	case 1:
+	case 2:
+		if p.C < 3 {
+			return fmt.Errorf("reliability: P+Q needs at least 3 disks, have %d", p.C)
+		}
+	default:
+		return fmt.Errorf("reliability: %d parities; 1 (P) or 2 (P+Q) supported", p.Parities)
 	}
 	return nil
 }
@@ -107,6 +136,9 @@ func SimulateMTTDL(p Params, trials int) (Result, error) {
 // units). Scrubbing shrinks the second pathway by bounding how long an
 // error can lie latent.
 func lifetime(p Params, rng *rand.Rand) float64 {
+	if p.parities() == 2 {
+		return lifetime2(p, rng)
+	}
 	t := 0.0
 	tClean := 0.0 // when every disk's surface was last fully verified
 	c := float64(p.C)
@@ -114,10 +146,7 @@ func lifetime(p Params, rng *rand.Rand) float64 {
 		// Time to the first failure among C healthy disks.
 		t += rng.ExpFloat64() * p.MTTFHours / c
 
-		repair := p.MTTRHours
-		if p.RepairDist == ExponentialRepair {
-			repair = rng.ExpFloat64() * p.MTTRHours
-		}
+		repair := p.repairWindow(rng)
 
 		// During the repair window, C−1 disks remain; by memorylessness
 		// the time to the next failure is exponential with rate
@@ -130,7 +159,7 @@ func lifetime(p Params, rng *rand.Rand) float64 {
 		// sector's unverified age is Uniform(0, S) (so a survivor is
 		// clean with probability E[e^{−λA}] = (1−e^{−λS})/(λS)); without
 		// scrubbing errors persist since the last full verification.
-		if p.LSERatePerDiskHour > 0 && rng.Float64() > pAllClean(p, t-tClean) {
+		if p.LSERatePerDiskHour > 0 && rng.Float64() > pAllClean(p, p.C-1, t-tClean) {
 			// The sweep reads the survivors throughout the window, so a
 			// bad sector surfaces mid-rebuild on average.
 			lse := repair / 2
@@ -150,10 +179,75 @@ func lifetime(p Params, rng *rand.Rand) float64 {
 	}
 }
 
-// pAllClean returns the probability that none of the C−1 surviving disks
+// repairWindow draws one repair window from the configured distribution.
+func (p Params) repairWindow(rng *rand.Rand) float64 {
+	if p.RepairDist == ExponentialRepair {
+		return rng.ExpFloat64() * p.MTTRHours
+	}
+	return p.MTTRHours
+}
+
+// lifetime2 simulates one P+Q array until data loss. With two-failure
+// correction, a second whole-disk death inside a repair window is
+// survivable: the array runs both rebuilds and only loses data if a THIRD
+// disk dies — or a latent sector error surfaces under the two-erasure
+// rebuild, giving some stripe a third dead unit — before either rebuild
+// completes. Latent errors met while only one disk is down are corrected
+// by the spare parity, so the single-degraded state is loss-free.
+func lifetime2(p Params, rng *rand.Rand) float64 {
+	t := 0.0
+	tClean := 0.0
+	c := float64(p.C)
+	for {
+		// Fault-free: time to the first failure among C healthy disks.
+		t += rng.ExpFloat64() * p.MTTFHours / c
+		rem := p.repairWindow(rng) // remaining repair of the oldest failure
+		for {
+			// One disk down. A latent error on a survivor is within the
+			// code's power here, so only a second death matters.
+			next := rng.ExpFloat64() * p.MTTFHours / (c - 1)
+			if next >= rem {
+				// Repaired first: the rebuild verified every survivor and
+				// rewrote the replacement, so the array is clean again.
+				t += rem
+				tClean = t
+				break
+			}
+			t += next
+			rem -= next
+			r2 := p.repairWindow(rng)
+			// Two disks down: the code is saturated until one rebuild
+			// completes. The exposure window ends at the earlier finish.
+			danger := math.Min(rem, r2)
+			loss := rng.ExpFloat64() * p.MTTFHours / (c - 2)
+			if p.LSERatePerDiskHour > 0 && rng.Float64() > pAllClean(p, p.C-2, t-tClean) {
+				// The two-erasure rebuild reads the survivors throughout
+				// the window; a bad sector surfaces mid-rebuild on average.
+				if lse := danger / 2; lse < loss {
+					loss = lse
+				}
+			}
+			if loss < danger {
+				return t + loss
+			}
+			t += danger
+			rem = math.Max(rem, r2) - danger
+			if rem <= 0 {
+				// Both rebuilds finished together (deterministic windows).
+				tClean = t
+				break
+			}
+			// Back to one down, rem left on the younger rebuild. The
+			// completed rebuild verified the survivors, but the remaining
+			// replacement is still filling; conservatively keep tClean.
+		}
+	}
+}
+
+// pAllClean returns the probability that none of the n surviving disks
 // carries a latent sector error at rebuild time, given the time since the
 // last full verification of the array.
-func pAllClean(p Params, sinceClean float64) float64 {
+func pAllClean(p Params, n int, sinceClean float64) float64 {
 	lam := p.LSERatePerDiskHour
 	var perDisk float64
 	if s := p.ScrubIntervalHours; s > 0 {
@@ -168,7 +262,7 @@ func pAllClean(p Params, sinceClean float64) float64 {
 	} else {
 		perDisk = math.Exp(-lam * sinceClean)
 	}
-	return math.Pow(perDisk, float64(p.C-1))
+	return math.Pow(perDisk, float64(n))
 }
 
 // DataLossProbability estimates the probability of data loss within

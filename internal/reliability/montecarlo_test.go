@@ -138,6 +138,74 @@ func TestMoreDisksHurtReliability(t *testing.T) {
 	}
 }
 
+func TestDualParityRaisesMTTDL(t *testing.T) {
+	// Exponential repair makes the P+Q lifecycle a Markov chain with
+	// states counting dead disks (absorption at three): failures arrive
+	// at (C−k)λ from state k, repairs complete at kμ. The expected
+	// absorption time from all-healthy solves to
+	//   T2 = (1 + 2μK)/((C−2)λ), K = (1 + μ/(Cλ))/((C−1)λ),
+	//   T0 = 1/(Cλ) + K + T2,
+	// and the simulation must agree within a few standard errors.
+	dual := Params{C: 21, MTTFHours: 10_000, MTTRHours: 10, Seed: 11,
+		RepairDist: ExponentialRepair, Parities: 2}
+	d, err := SimulateMTTDL(dual, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, mu := 1/dual.MTTFHours, 1/dual.MTTRHours
+	c := float64(dual.C)
+	k := (1 + mu/(c*lam)) / ((c - 1) * lam)
+	t2 := (1 + 2*mu*k) / ((c - 2) * lam)
+	exact := 1/(c*lam) + k + t2
+	if diff := math.Abs(d.MTTDLHours - exact); diff > 4*d.StdErrHours {
+		t.Fatalf("P+Q MTTDL %.3g ± %.2g, Markov exact %.3g (off by %.1f σ)",
+			d.MTTDLHours, d.StdErrHours, exact, diff/d.StdErrHours)
+	}
+	// The gain over single parity is the 2-fault term — roughly
+	// 2·MTTF/((C−2)·MTTR) ≈ 105 here.
+	single := dual
+	single.Parities = 0
+	s, err := SimulateMTTDL(single, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := d.MTTDLHours / s.MTTDLHours; gain < 50 || gain > 220 {
+		t.Fatalf("P+Q MTTDL gain %.1f, want ~105 (single %.3g, dual %.3g)",
+			gain, s.MTTDLHours, d.MTTDLHours)
+	}
+}
+
+func TestDualParityAbsorbsLatentErrors(t *testing.T) {
+	// Under P+Q a latent error met with one disk down is corrected by the
+	// spare parity; only the two-down window is exposed. The same LSE rate
+	// that halves single-parity MTTDL must leave the P+Q array well above
+	// even the CLEAN single-parity array.
+	lseSingle := Params{C: 21, MTTFHours: 1000, MTTRHours: 10, Seed: 12, LSERatePerDiskHour: 1e-3}
+	cleanSingle := lseSingle
+	cleanSingle.LSERatePerDiskHour = 0
+	lseDual := lseSingle
+	lseDual.Parities = 2
+	s, err := SimulateMTTDL(lseSingle, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SimulateMTTDL(cleanSingle, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := SimulateMTTDL(lseDual, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MTTDLHours >= c.MTTDLHours {
+		t.Fatalf("LSEs did not hurt single parity: %.3g vs clean %.3g", s.MTTDLHours, c.MTTDLHours)
+	}
+	if d.MTTDLHours <= c.MTTDLHours {
+		t.Fatalf("lossy P+Q MTTDL %.3g not above clean single parity %.3g",
+			d.MTTDLHours, c.MTTDLHours)
+	}
+}
+
 func TestDataLossProbability(t *testing.T) {
 	p := Params{C: 21, MTTFHours: 150_000, MTTRHours: 2, Seed: 4}
 	const mission = 10 * 365.25 * 24
@@ -172,6 +240,8 @@ func TestValidation(t *testing.T) {
 		Params{C: 5, MTTFHours: 1, MTTRHours: 1, LSERatePerDiskHour: -1},
 		Params{C: 5, MTTFHours: 1, MTTRHours: 1, ScrubIntervalHours: -1},
 		Params{C: 5, MTTFHours: 1, MTTRHours: 1, RepairDist: RepairDist(9)},
+		Params{C: 5, MTTFHours: 1, MTTRHours: 1, Parities: 3},
+		Params{C: 2, MTTFHours: 1, MTTRHours: 1, Parities: 2},
 	)
 	for i, p := range bad {
 		if _, err := SimulateMTTDL(p, 10); err == nil {

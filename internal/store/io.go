@@ -241,6 +241,17 @@ func (s *Store) xorOthersInto(st *diskState, u layout.Loc, out []byte) error {
 	return nil
 }
 
+// recoverInto computes the contents of unit u — lost or damaged — from
+// the rest of its stripe, into out: the XOR of the survivors under single
+// parity, the erasure decode under P+Q (which can see through one more
+// lost or damaged unit). Caller holds the stripe's WRITE lock.
+func (s *Store) recoverInto(st *diskState, u layout.Loc, out []byte) error {
+	if s.parities == 2 {
+		return s.pqRecoverInto(st, u, out)
+	}
+	return s.xorOthersInto(st, u, out)
+}
+
 // countHeal classifies a damaged-unit cause into the stats counters.
 func (s *Store) countHeal(cause error) {
 	if errors.Is(cause, ErrMedia) {
@@ -268,7 +279,7 @@ func (s *Store) readUnitHealing(st *diskState, u layout.Loc, out []byte) error {
 	}
 	s.countHeal(err)
 	s.scoreDiskError(u.Disk)
-	if rerr := s.xorOthersInto(st, u, out); rerr != nil {
+	if rerr := s.recoverInto(st, u, out); rerr != nil {
 		return rerr
 	}
 	// Rewrite the damaged unit with its reconstructed contents (heals a

@@ -50,7 +50,7 @@ func (s *Store) ReadRange(start int64, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	perStripe := int64(s.lay.G() - 1)
+	perStripe := s.dataPerStripe
 	first := start / perStripe
 	segs := int((start+n-1)/perStripe - first + 1)
 	if segs == 1 {
@@ -116,7 +116,7 @@ func (s *Store) WriteRange(start int64, src []byte) error {
 	if err != nil {
 		return err
 	}
-	perStripe := int64(s.lay.G() - 1)
+	perStripe := s.dataPerStripe
 	first := start / perStripe
 	segs := int((start+n-1)/perStripe - first + 1)
 	if segs == 1 {

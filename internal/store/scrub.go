@@ -29,9 +29,13 @@ const (
 
 // resyncStripe verifies and repairs one stripe under its write lock (or
 // before the store serves traffic). No unit of the stripe may be lost.
-// With at most one damaged unit the stripe is repaired in place; two or
-// more damaged units are unrecoverable.
+// Damage within the code's correction power — one unit under single
+// parity, two under P+Q — is repaired in place; anything beyond is
+// unrecoverable.
 func (s *Store) resyncStripe(st *diskState, stripe int64) (stripeFix, error) {
+	if s.parities == 2 {
+		return s.resyncStripePQ(st, stripe)
+	}
 	g := s.lay.G()
 	pp := s.lay.ParityPos(stripe)
 	phys := s.getBuf()
@@ -120,8 +124,10 @@ type ScrubResult struct {
 	// Skipped is how many stripes were passed over because a unit is lost
 	// (their consistency is re-established by the rebuild, not the scrub).
 	Skipped int64
-	// UnitRepairs counts damaged units (media errors, checksum
-	// mismatches) reconstructed from survivors and rewritten.
+	// UnitRepairs counts stripes whose damaged units (media errors,
+	// checksum mismatches) were reconstructed from survivors and
+	// rewritten — one per stripe even when a P+Q repair rewrote two
+	// units (Stats().HealedUnits counts the individual units).
 	UnitRepairs int64
 	// ParityRewrites counts stripes whose units were all individually
 	// valid but whose parity equation did not balance — the lost-write /

@@ -149,26 +149,57 @@ type Stats struct {
 	ResyncRepairs   int64
 }
 
-// diskState is an immutable failure-state snapshot, published through an
-// atomic pointer. disks is never mutated after publication; rebuilt is
-// element-mutable under the owning stripe's lock.
-type diskState struct {
-	disks   []Disk
-	failed  int    // -1 when healthy
+// failSlot tracks one failed disk: its number, the replacement being
+// rebuilt onto it (nil before install), and which of its offsets already
+// live on the replacement.
+type failSlot struct {
+	disk    int
 	repl    Disk   // replacement being rebuilt onto; nil before install
 	rebuilt []bool // failed disk offsets already on the replacement
+}
+
+// diskState is an immutable failure-state snapshot, published through an
+// atomic pointer. disks and fails are never mutated after publication
+// (Fail/Rebuild publish fresh snapshots); each slot's rebuilt is
+// element-mutable under the owning stripe's lock. fails is ordered oldest
+// failure first and holds at most the layout's parity count: a P+Q store
+// tolerates two concurrent failures, a single-parity store one.
+type diskState struct {
+	disks []Disk
+	fails []failSlot
+}
+
+// slot returns the failure slot covering disk d, or nil.
+func (st *diskState) slot(d int) *failSlot {
+	for i := range st.fails {
+		if st.fails[i].disk == d {
+			return &st.fails[i]
+		}
+	}
+	return nil
+}
+
+// slotIndex returns the index in fails of disk d's slot, or -1.
+func (st *diskState) slotIndex(d int) int {
+	for i := range st.fails {
+		if st.fails[i].disk == d {
+			return i
+		}
+	}
+	return -1
 }
 
 // lost reports whether loc's contents are unreadable at its home slot and
 // not yet available on a replacement.
 func (st *diskState) lost(loc layout.Loc) bool {
-	return loc.Disk == st.failed && !(st.repl != nil && st.rebuilt[loc.Offset])
+	f := st.slot(loc.Disk)
+	return f != nil && !(f.repl != nil && f.rebuilt[loc.Offset])
 }
 
 // disk resolves loc to the backend serving it; loc must not be lost.
 func (st *diskState) disk(loc layout.Loc) Disk {
-	if loc.Disk == st.failed {
-		return st.repl
+	if f := st.slot(loc.Disk); f != nil {
+		return f.repl
 	}
 	return st.disks[loc.Disk]
 }
@@ -176,14 +207,16 @@ func (st *diskState) disk(loc layout.Loc) Disk {
 // Store is a goroutine-safe declustered block store. See the package
 // comment for the concurrency model and the failure/durability contract.
 type Store struct {
-	lay          layout.Layout
-	mapper       layout.StripeIndexMapper
-	unitSize     int
-	physSize     int
-	unitsPerDisk int64 // usable units per disk (whole periods)
-	numStripes   int64
-	dataUnits    int64
-	throttle     time.Duration
+	lay           layout.Layout
+	mapper        layout.StripeIndexMapper
+	parities      int   // parity units per stripe: 1 (P) or 2 (P+Q)
+	dataPerStripe int64 // data units per stripe: G − parities
+	unitSize      int
+	physSize      int
+	unitsPerDisk  int64 // usable units per disk (whole periods)
+	numStripes    int64
+	dataUnits     int64
+	throttle      time.Duration
 
 	retries       int
 	retryBackoff  time.Duration
@@ -279,6 +312,10 @@ func New(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("store: %d rebuild workers outside [1,1024]", cfg.RebuildWorkers)
 	}
 	l := cfg.Layout
+	parities := layout.NumParities(l)
+	if parities < 1 || parities > 2 {
+		return nil, fmt.Errorf("store: layout has %d parity units per stripe; 1 (P) or 2 (P+Q) supported", parities)
+	}
 	usable := layout.UsableUnitsPerDisk(l, cfg.UnitsPerDisk)
 	if usable == 0 {
 		return nil, fmt.Errorf("store: %d units per disk is less than one allocation period (%d)",
@@ -303,6 +340,8 @@ func New(cfg Config) (*Store, error) {
 	s := &Store{
 		lay:            l,
 		mapper:         layout.StripeIndexMapper{L: l},
+		parities:       parities,
+		dataPerStripe:  int64(layout.DataPerStripe(l)),
 		unitSize:       cfg.UnitSize,
 		physSize:       PhysUnitSize(cfg.UnitSize),
 		unitsPerDisk:   usable,
@@ -324,7 +363,7 @@ func New(cfg Config) (*Store, error) {
 		return &b
 	}
 	s.scratch.New = func() any { return new(rangeScratch) }
-	s.st.Store(&diskState{disks: disks, failed: -1})
+	s.st.Store(&diskState{disks: disks})
 
 	s.intent = cfg.Intent
 	if s.intent == nil {
@@ -470,21 +509,43 @@ func (s *Store) Disks() int { return s.lay.Disks() }
 // Stripes returns the number of mapped parity stripes.
 func (s *Store) Stripes() int64 { return s.numStripes }
 
-// Mode reports the current failure state.
+// Mode reports the current failure state: Rebuilding if any failed slot
+// has a replacement installed, Degraded if any disk is failed, else
+// Healthy.
 func (s *Store) Mode() Mode {
 	st := s.st.Load()
-	switch {
-	case st.failed == -1:
+	if len(st.fails) == 0 {
 		return Healthy
-	case st.repl == nil:
-		return Degraded
-	default:
-		return Rebuilding
 	}
+	for i := range st.fails {
+		if st.fails[i].repl != nil {
+			return Rebuilding
+		}
+	}
+	return Degraded
 }
 
-// FailedDisk returns the failed disk number, or -1 when healthy.
-func (s *Store) FailedDisk() int { return s.st.Load().failed }
+// FailedDisk returns the oldest failed disk number, or -1 when healthy.
+func (s *Store) FailedDisk() int {
+	st := s.st.Load()
+	if len(st.fails) == 0 {
+		return -1
+	}
+	return st.fails[0].disk
+}
+
+// FailedDisks returns every failed disk number, oldest failure first.
+func (s *Store) FailedDisks() []int {
+	st := s.st.Load()
+	out := make([]int, len(st.fails))
+	for i := range st.fails {
+		out[i] = st.fails[i].disk
+	}
+	return out
+}
+
+// Parities returns the store's parity units per stripe: 1 (P) or 2 (P+Q).
+func (s *Store) Parities() int { return s.parities }
 
 // Stats returns a snapshot of the engine counters.
 func (s *Store) Stats() Stats {
@@ -580,10 +641,10 @@ func (s *Store) healRead(stripe int64, loc layout.Loc, dst []byte) error {
 	defer s.locks.unlock(stripe)
 	st := s.st.Load()
 	if st.lost(loc) {
-		// Lost, and a survivor was damaged: one exclusive retry — if the
-		// survivor's damage was transient it clears, otherwise the stripe
-		// has two unreadable units and is genuinely unrecoverable.
-		if err := s.xorOthersInto(st, loc, dst); err != nil {
+		// Lost, and a survivor was damaged: one exclusive retry under the
+		// write lock, where damage the code can still absorb (a transient
+		// that clears, or — under P+Q — a second erasure) is repaired.
+		if err := s.recoverInto(st, loc, dst); err != nil {
 			return err
 		}
 		s.degradedReads.Add(1)
@@ -592,12 +653,16 @@ func (s *Store) healRead(stripe int64, loc layout.Loc, dst []byte) error {
 	return s.readUnitHealing(st, loc, dst)
 }
 
-// reconstructLocked computes loc's contents into dst as the XOR of its
-// stripe's surviving units, fanning the G−1 reads across idle I/O
-// workers. Caller holds (at least) the stripe's read lock; damaged
-// survivors are reported (needsHeal), not repaired — repairing requires
-// the write lock, which healRead takes for the exclusive retry.
+// reconstructLocked computes loc's contents into dst from its stripe's
+// surviving units: the XOR of the G−1 survivors under single parity
+// (fanned across idle I/O workers), the erasure decode under P+Q. Caller
+// holds (at least) the stripe's read lock; damaged survivors are reported
+// (needsHeal), not repaired — repairing requires the write lock, which
+// healRead takes for the exclusive retry.
 func (s *Store) reconstructLocked(st *diskState, loc layout.Loc, dst []byte) error {
+	if s.parities == 2 {
+		return s.pqReconstructLocked(st, loc, dst)
+	}
 	zeroBytes(dst)
 	damaged, err := s.xorUnitsInto(st, layout.SurvivingUnits(s.lay, loc), dst)
 	if err != nil {
@@ -660,6 +725,9 @@ func (s *Store) writeStripeLocked(stripe int64, locs []layout.Loc, datas [][]byt
 // zero-extra-alloc hot path; multi-unit commits (range writes) fan their
 // independent pre-reads and commit writes across idle I/O workers.
 func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]byte) error {
+	if s.parities == 2 {
+		return s.commitStripePQ(stripe, locs, datas)
+	}
 	st := s.st.Load()
 	ploc := layout.ParityLoc(s.lay, stripe)
 
@@ -681,7 +749,7 @@ func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]by
 	lostIdx := -1 // index into locs of a written lost unit
 	var lostLoc layout.Loc
 	haveLost := false
-	if st.failed >= 0 {
+	if len(st.fails) > 0 {
 		g := s.lay.G()
 		pp := s.lay.ParityPos(stripe)
 		for j := 0; j < g; j++ {
@@ -835,11 +903,11 @@ func (s *Store) commitStripeLocked(stripe int64, locs []layout.Loc, datas [][]by
 // replacement (the fold — no write at all).
 func (s *Store) commitOneLocked(st *diskState, loc layout.Loc, data []byte, isLost bool) error {
 	if isLost {
-		if st.repl != nil {
-			if err := s.writeDataUnit(st.repl, loc.Disk, loc.Offset, data); err != nil {
+		if f := st.slot(loc.Disk); f != nil && f.repl != nil {
+			if err := s.writeDataUnit(f.repl, loc.Disk, loc.Offset, data); err != nil {
 				return err
 			}
-			s.markRebuilt(st, loc.Offset)
+			s.markRebuilt(f, loc.Offset)
 			s.redirectedWrites.Add(1)
 		} else {
 			s.foldedWrites.Add(1)
@@ -875,48 +943,57 @@ func (s *Store) gatherHealing(st *diskState, units []layout.Loc, dst []byte) err
 }
 
 // markRebuilt records (under the stripe lock) that the failed disk's unit
-// at off now lives on the replacement.
-func (s *Store) markRebuilt(st *diskState, off int64) {
-	if !st.rebuilt[off] {
-		st.rebuilt[off] = true
+// at off now lives on slot f's replacement.
+func (s *Store) markRebuilt(f *failSlot, off int64) {
+	if !f.rebuilt[off] {
+		f.rebuilt[off] = true
 		s.rebuiltUnits.Add(1)
 		s.rebuiltNow.Add(1)
 	}
 }
 
 // Fail takes disk d out of service: its backend is detached (to be closed
-// with the store) and the slot reads as lost until rebuilt. Only a single
-// concurrent failure is supported — the layout is single-failure-
-// correcting — so failing an already-degraded store is an error.
+// with the store) and the slot reads as lost until rebuilt. The store
+// tolerates as many concurrent failures as the layout has parity units —
+// one under single parity, two under P+Q — so failing beyond that is an
+// error.
 func (s *Store) Fail(d int) error {
 	s.admin.Lock()
 	defer s.admin.Unlock()
 	st := s.st.Load()
-	if st.failed != -1 {
-		return fmt.Errorf("store: disk %d already failed; single-failure layout", st.failed)
+	if len(st.fails) >= s.parities {
+		if s.parities == 1 {
+			return fmt.Errorf("store: disk %d already failed; single-failure layout", st.fails[0].disk)
+		}
+		return fmt.Errorf("store: disks %d and %d already failed; the P+Q code corrects two failures",
+			st.fails[0].disk, st.fails[1].disk)
 	}
 	if d < 0 || d >= len(st.disks) {
 		return fmt.Errorf("store: disk %d out of range [0,%d)", d, len(st.disks))
+	}
+	if st.slot(d) != nil {
+		return fmt.Errorf("store: disk %d already failed", d)
 	}
 	disks := make([]Disk, len(st.disks))
 	copy(disks, st.disks)
 	s.detached = append(s.detached, disks[d])
 	disks[d] = deadDisk{}
 	s.rebuiltNow.Store(0)
-	s.st.Store(&diskState{
-		disks:   disks,
-		failed:  d,
-		rebuilt: make([]bool, s.unitsPerDisk),
-	})
+	fails := make([]failSlot, len(st.fails), len(st.fails)+1)
+	copy(fails, st.fails)
+	fails = append(fails, failSlot{disk: d, rebuilt: make([]bool, s.unitsPerDisk)})
+	s.st.Store(&diskState{disks: disks, fails: fails})
 	return nil
 }
 
-// Rebuild installs repl as the failed disk's replacement and sweeps the
-// failed disk's units onto it, stripe by stripe under the stripe locks,
-// while user operations continue. Units already redirected by concurrent
-// writes are skipped. On completion the replacement is swapped into the
-// array and the store returns to Healthy. repl must hold at least the
-// usable unit count and should be blank; its prior contents are
+// Rebuild installs repl as the replacement for the oldest failed disk
+// without one and sweeps that disk's units onto it, stripe by stripe under
+// the stripe locks, while user operations continue. Units already
+// redirected by concurrent writes are skipped. On completion the
+// replacement is swapped into the array and the failure slot retires —
+// under P+Q a doubly-failed store goes Rebuilding → Degraded after the
+// first Rebuild and back to Healthy after the second. repl must hold at
+// least the usable unit count and should be blank; its prior contents are
 // overwritten.
 func (s *Store) Rebuild(repl Disk) error {
 	if repl == nil {
@@ -932,22 +1009,37 @@ func (s *Store) Rebuild(repl Disk) error {
 
 	s.admin.Lock()
 	st := s.st.Load()
-	if st.failed == -1 {
+	target := -1
+	for i := range st.fails {
+		if st.fails[i].repl == nil {
+			target = st.fails[i].disk
+			break
+		}
+	}
+	if target == -1 {
 		s.admin.Unlock()
 		return fmt.Errorf("store: no failed disk to rebuild")
 	}
-	st2 := &diskState{disks: st.disks, failed: st.failed, repl: repl, rebuilt: st.rebuilt}
-	s.st.Store(st2)
+	fails := make([]failSlot, len(st.fails))
+	copy(fails, st.fails)
+	fails[st.slotIndex(target)].repl = repl
+	// Progress is per failure: with two failures pending (P+Q) the second
+	// Rebuild starts its own count instead of continuing the first's.
+	s.rebuiltNow.Store(0)
+	s.st.Store(&diskState{disks: st.disks, fails: fails})
 	s.admin.Unlock()
 
 	// Sweep the failed disk's offsets in RebuildWorkers contiguous shards.
-	// Two offsets of one disk always belong to different stripes (a
-	// single-failure layout places at most one unit of a stripe per disk),
-	// so shards never contend on a stripe's own lock, and the declustered
-	// layout spreads each shard's survivor reads over the whole array.
-	// Throttle pacing is aggregate: each worker sleeps workers× the
-	// configured pause, so the knob means the same sweep rate — and holds
-	// the rebuild window open just as long — at any worker count.
+	// Two offsets of one disk always belong to different stripes (the
+	// layout places at most one unit of a stripe per disk), so shards
+	// never contend on a stripe's own lock, and the declustered layout
+	// spreads each shard's survivor reads over the whole array. Throttle
+	// pacing is aggregate: each worker sleeps workers× the configured
+	// pause, so the knob means the same sweep rate — and holds the rebuild
+	// window open just as long — at any worker count. Each unit reloads
+	// the failure snapshot under its stripe lock, so a second disk failing
+	// mid-sweep is picked up as another erasure (P+Q decodes through it)
+	// instead of being read as a live survivor.
 	workers := s.rebuildWorkers
 	if int64(workers) > s.unitsPerDisk {
 		workers = int(s.unitsPerDisk)
@@ -969,14 +1061,16 @@ func (s *Store) Rebuild(repl Disk) error {
 			defer s.putBuf(buf)
 			data := (*buf)[:s.unitSize]
 			for off := lo; off < hi && !stop.Load(); off++ {
-				loc := layout.Loc{Disk: st2.failed, Offset: off}
+				loc := layout.Loc{Disk: target, Offset: off}
 				stripe, _ := s.lay.Locate(loc)
 				s.locks.lock(stripe)
 				var err error
-				if !st2.rebuilt[off] {
-					if err = s.xorOthersInto(st2, loc, data); err == nil {
-						if err = s.writeDataUnit(repl, st2.failed, off, data); err == nil {
-							s.markRebuilt(st2, off)
+				stc := s.st.Load()
+				f := stc.slot(target)
+				if f != nil && !f.rebuilt[off] {
+					if err = s.recoverInto(stc, loc, data); err == nil {
+						if err = s.writeDataUnit(repl, target, off, data); err == nil {
+							s.markRebuilt(f, off)
 						}
 					}
 				}
@@ -1002,25 +1096,36 @@ func (s *Store) Rebuild(repl Disk) error {
 		return swErr
 	}
 
-	// Heal: swap the replacement into the slot and return to Healthy.
+	// Heal: swap the replacement into the slot and retire the failure.
 	// The slot's persistent-error score resets — it is a new device.
 	s.admin.Lock()
+	st2 := s.st.Load()
 	disks := make([]Disk, len(st2.disks))
 	copy(disks, st2.disks)
-	disks[st2.failed] = repl
-	s.diskErrs[st2.failed].Store(0)
-	s.st.Store(&diskState{disks: disks, failed: -1})
+	disks[target] = repl
+	s.diskErrs[target].Store(0)
+	fails2 := make([]failSlot, 0, len(st2.fails)-1)
+	for i := range st2.fails {
+		if st2.fails[i].disk != target {
+			fails2 = append(fails2, st2.fails[i])
+		}
+	}
+	s.st.Store(&diskState{disks: disks, fails: fails2})
 	s.admin.Unlock()
 	s.rebuilds.Add(1)
 	return nil
 }
 
 // CheckParity verifies, at quiesce (no operations in flight), that every
-// stripe's checksums hold and its parity equation balances: the XOR over
-// all units of a whole stripe is zero. Stripes with a lost unit are
-// skipped — their consistency is exactly what degraded reads exercise.
+// stripe's checksums hold and its parity equations balance: the XOR over
+// all units of a whole stripe is zero and — under P+Q — the Reed–Solomon
+// sum over the data units equals the stored Q. Stripes with a lost unit
+// are skipped — their consistency is exactly what degraded reads exercise.
 // CheckParity reports damage; Scrub repairs it.
 func (s *Store) CheckParity() error {
+	if s.parities == 2 {
+		return s.checkParityPQ()
+	}
 	g := s.lay.G()
 	return s.fanOut(int(s.numStripes), func(i int) error {
 		stripe := int64(i)
@@ -1068,8 +1173,11 @@ func (s *Store) Sync() error {
 			}
 		}
 	}
-	if st.repl != nil {
-		if sd, ok := st.repl.(syncDisk); ok {
+	for i := range st.fails {
+		if st.fails[i].repl == nil {
+			continue
+		}
+		if sd, ok := st.fails[i].repl.(syncDisk); ok {
 			if err := sd.Sync(); err != nil {
 				errs = append(errs, fmt.Errorf("store: sync replacement: %w", err))
 			}
@@ -1119,8 +1227,11 @@ func (s *Store) Close() error {
 			errs = append(errs, fmt.Errorf("store: close disk %d: %w", i, err))
 		}
 	}
-	if st.repl != nil {
-		if err := st.repl.Close(); err != nil {
+	for i := range st.fails {
+		if st.fails[i].repl == nil {
+			continue
+		}
+		if err := st.fails[i].repl.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("store: close replacement: %w", err))
 		}
 	}
